@@ -1,0 +1,121 @@
+"""Ablation studies for the design choices documented in DESIGN.md.
+
+1. **Homomorphism procedure vs. small model.**  For semirings with both
+   an exact homomorphism characterization *and* a decidable polynomial
+   order (B, Lin[X], Sorp[X]) the two independent procedures must agree;
+   the benchmark quantifies how much cheaper the syntactic check is —
+   the reason Table 1 matters at all.
+2. **Oracle search strategy.**  The paper's completeness proofs place
+   counterexample witnesses on canonical instances of ``⟨Q1⟩``; the
+   benchmark compares witness discovery of canonical-only vs.
+   random-only search, justifying the oracle's default ordering.
+3. **The universal no-homomorphism fast path.**  Plain-hom necessity
+   (Sec. 3.3) prunes most non-containments before any class-specific
+   work; measured by disabling it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import decide_cq_containment, small_model_contained
+from repro.homomorphisms import HomKind, has_homomorphism
+from repro.oracle.brute_force import (_canonical_search, _random_search,
+                                      find_counterexample)
+from repro.queries.generators import random_cq
+from repro.queries.ucq import as_ucq
+from repro.semirings import B, LIN, N, NX, SORP
+
+PROBLEMS = [
+    (random_cq(random.Random(seed), max_atoms=3, max_vars=3),
+     random_cq(random.Random(seed + 1000), max_atoms=3, max_vars=3))
+    for seed in range(20)
+]
+
+
+@pytest.mark.parametrize("semiring", [B, LIN, SORP], ids=lambda s: s.name)
+def test_ablation_hom_procedure(benchmark, semiring):
+    """The Table-1 syntactic check (fast side of the ablation)."""
+    def syntactic():
+        return [decide_cq_containment(q1, q2, semiring).result
+                for q1, q2 in PROBLEMS]
+    results = benchmark(syntactic)
+    expected = [small_model_contained(q1, q2, semiring)
+                for q1, q2 in PROBLEMS]
+    assert results == expected
+
+
+@pytest.mark.parametrize("semiring", [B, LIN, SORP], ids=lambda s: s.name)
+def test_ablation_small_model(benchmark, semiring):
+    """The same decisions through Thm. 4.17 (slow side)."""
+    def semantic():
+        return [small_model_contained(q1, q2, semiring)
+                for q1, q2 in PROBLEMS]
+    results = benchmark(semantic)
+    expected = [decide_cq_containment(q1, q2, semiring).result
+                for q1, q2 in PROBLEMS]
+    assert results == expected
+
+
+def _noncontainments():
+    out = []
+    for q1, q2 in PROBLEMS:
+        if decide_cq_containment(q1, q2, NX).result is False:
+            out.append((as_ucq(q1), as_ucq(q2)))
+    return out
+
+
+def test_ablation_oracle_canonical_search(benchmark):
+    """Canonical-instance search finds every N[X] witness (the paper's
+    completeness argument made operational)."""
+    problems = _noncontainments()
+    assert problems
+
+    def canonical_only():
+        rng = random.Random(5)
+        pool = NX.sample_pool(rng, 4)
+        return [
+            _canonical_search(q1, q2, NX, pool, rng, budget=300) is not None
+            for q1, q2 in problems
+        ]
+
+    found = benchmark(canonical_only)
+    assert all(found), "canonical search must witness every refutation"
+
+
+def test_ablation_oracle_random_search(benchmark):
+    """Random-instance search alone misses witnesses that the canonical
+    family finds (or pays far more to find them)."""
+    problems = _noncontainments()
+
+    def random_only():
+        rng = random.Random(5)
+        return [
+            _random_search(q1, q2, NX, rng, rounds=15, domain_size=2)
+            is not None
+            for q1, q2 in problems
+        ]
+
+    found = benchmark(random_only)
+    assert len(found) == len(problems)  # soundness only; hit rate varies
+
+
+def test_ablation_fast_path_effect(benchmark):
+    """How often the universal no-hom check decides by itself: on this
+    workload it must fire for every pair with no plain homomorphism."""
+    def with_fast_path():
+        refuted = 0
+        for q1, q2 in PROBLEMS:
+            if not has_homomorphism(q2, q1, HomKind.PLAIN):
+                refuted += 1
+        return refuted
+
+    refuted = benchmark(with_fast_path)
+    expected = sum(
+        1 for q1, q2 in PROBLEMS
+        if decide_cq_containment(q1, q2, N).result is False
+        and not has_homomorphism(q2, q1, HomKind.PLAIN)
+    )
+    assert refuted >= expected

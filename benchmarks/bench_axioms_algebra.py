@@ -1,0 +1,98 @@
+"""Benchmarks for the axiom falsifier and the relational-algebra layer.
+
+The axiom benches time how quickly membership claims are refuted or
+survive the bounded probes; the algebra benches time annotated
+evaluation against compile-then-evaluate, asserting they agree — the
+compilation overhead is the price of a containment-checkable plan.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import check_rewrite, table
+from repro.core import (admissible_probe_polynomials, falsify_nhcov,
+                        falsify_nin, falsify_nk_hcov, probe_polynomials)
+from repro.data import Instance
+from repro.queries import evaluate_all
+from repro.semirings import B, LIN, N, N2_SATURATING, NX, SORP, TPLUS
+
+PROBES = probe_polynomials(random.Random(3), 40)
+ADMISSIBLE = admissible_probe_polynomials(random.Random(4), 20)
+
+
+def test_axiom_nhcov_refutation(benchmark):
+    violation = benchmark(falsify_nhcov, N2_SATURATING)
+    assert violation is not None
+
+
+def test_axiom_nhcov_survival(benchmark):
+    from repro.semirings import TMINUS
+    violation = benchmark(falsify_nhcov, TMINUS)
+    assert violation is None
+
+
+def test_axiom_nin_refutation(benchmark):
+    violation = benchmark(falsify_nin, TPLUS, ADMISSIBLE)
+    assert violation is not None
+
+
+def test_axiom_nin_survival(benchmark):
+    violation = benchmark(falsify_nin, SORP, ADMISSIBLE)
+    assert violation is None
+
+
+def test_axiom_nk_hcov_sweep(benchmark):
+    def sweep():
+        return (falsify_nk_hcov(LIN, 1, PROBES),
+                falsify_nk_hcov(LIN, 2, PROBES))
+    survived, violated = benchmark(sweep)
+    assert survived is None and violated is not None
+
+
+# --- algebra -----------------------------------------------------------------
+
+ORDERS = table("Orders", "cust", "item")
+ITEMS = table("Items", "item", "cat")
+PLAN = ORDERS.join(ITEMS).select("cat", "furniture").project("cust")
+
+
+def _instance():
+    rng = random.Random(8)
+    orders = {}
+    for customer in range(6):
+        for item in range(6):
+            if rng.random() < 0.5:
+                orders[(f"c{customer}", f"i{item}")] = rng.randint(1, 3)
+    items = {(f"i{item}", "furniture" if item % 2 else "tools"): 1
+             for item in range(6)}
+    return Instance(N, {"Orders": orders, "Items": items})
+
+
+def test_algebra_direct_evaluation(benchmark):
+    instance = _instance()
+    result = benchmark(PLAN.evaluate, instance)
+    assert result
+
+
+def test_algebra_compiled_evaluation(benchmark):
+    instance = _instance()
+    ucq = PLAN.to_ucq()
+
+    result = benchmark(evaluate_all, ucq, instance)
+    assert result == PLAN.evaluate(instance)
+
+
+def test_algebra_rewrite_certification(benchmark):
+    doubled = ORDERS.join(ORDERS.rename({"item": "item2"})).project("cust")
+    single = ORDERS.project("cust")
+
+    def certify():
+        return (check_rewrite(doubled, single, B).equivalent,
+                check_rewrite(doubled, single, NX).equivalent,
+                check_rewrite(doubled, single, LIN).equivalent)
+
+    results = benchmark(certify)
+    assert results == (True, False, True)

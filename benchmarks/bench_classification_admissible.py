@@ -1,0 +1,85 @@
+"""Classification matrix and CQ-admissibility benchmarks.
+
+``test_classification_matrix`` regenerates the paper's central artifact
+— which named semiring sits in which Table-1 class — and asserts every
+membership claim from Secs. 3–5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classify
+from repro.polynomials import Polynomial, is_cq_admissible
+from repro.semirings import ALL_SEMIRINGS, get_semiring
+
+#: name → (CQ procedure class, UCQ procedure class, small-model?)
+EXPECTED = {
+    "B": ("Chom", "Chom", True),
+    "PosBool[X]": ("Chom", "Chom", True),
+    "P[Ω(3)]": ("Chom", "Chom", True),
+    "F": ("Chom", "Chom", True),
+    "A": ("Chom", "Chom", True),
+    "Lin[X]": ("Chcov", "C1hcov", True),
+    "Sorp[X]": ("Cin", "C1in", True),
+    "T+": (None, None, True),
+    "V": (None, None, True),
+    "L": (None, None, False),
+    "Why[X]": ("Csur", "C1sur", True),
+    "Trio[X]": ("Csur", None, False),
+    "Ssur[X]": ("Csur", "C∞sur", False),
+    "T-": (None, None, True),
+    "N": (None, None, False),
+    "N_2": (None, None, False),
+    "N_3": (None, None, False),
+    "Lin[X]×N_2": (None, "C2hcov", False),
+    "N[X]": ("Cbi", "C∞bi", False),
+    "B[X]": ("Cbi", "C1bi", True),
+    "N_2[X]": ("Cbi", "Ckbi", False),
+    "N_3[X]": ("Cbi", "Ckbi", False),
+    "R+": (None, None, False),
+}
+
+
+def _matrix():
+    return {
+        semiring.name: (
+            classify(semiring).cq_exact_class(),
+            classify(semiring).ucq_exact_class(),
+            classify(semiring).small_model,
+        )
+        for semiring in ALL_SEMIRINGS
+    }
+
+
+def test_classification_matrix(benchmark):
+    matrix = benchmark(_matrix)
+    assert matrix == EXPECTED
+
+
+ADMISSIBLE_CASES = [
+    ("x^2", [(1, "xx")], True),
+    ("2xy", [(2, "xy")], True),
+    ("x+y", [(1, "x"), (1, "y")], True),
+    ("(x+y)^2", [(1, "xx"), (2, "xy"), (1, "yy")], True),
+    ("2x", [(2, "x")], False),
+    ("x^2+y", [(1, "xx"), (1, "y")], False),
+    ("x^2+xy+y^2", [(1, "xx"), (1, "xy"), (1, "yy")], False),
+]
+
+
+@pytest.mark.parametrize("name,terms,expected",
+                         ADMISSIBLE_CASES, ids=[c[0] for c in ADMISSIBLE_CASES])
+def test_admissibility(benchmark, name, terms, expected):
+    poly = Polynomial.parse_terms(terms)
+    result = benchmark(is_cq_admissible, poly)
+    assert result == expected
+
+
+def test_admissibility_larger_power(benchmark):
+    """(x + y + z)³: the canonical admissible polynomial of degree 3."""
+    sum_poly = (Polynomial.variable("x") + Polynomial.variable("y")
+                + Polynomial.variable("z"))
+    poly = sum_poly.power(3)
+    result = benchmark(is_cq_admissible, poly)
+    assert result is True

@@ -1,0 +1,68 @@
+"""Complexity-shape sweeps for the core combinatorial engines.
+
+Table 1's complexity column is asymptotic (NP-c, Πp2, coNP^#P,
+EXPTIME); on a simulator we reproduce its *shape*:
+
+* homomorphism search cost grows with query size (chains into cliques —
+  the classic NP-hard family);
+* complete descriptions grow with the Bell numbers of the existential
+  variable count;
+* the ``։∞`` Hall matching grows with the product of description sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.homomorphisms import HomKind, has_homomorphism, sur_infty
+from repro.queries import UCQ, complete_description
+
+from conftest import chain_query, clique_query
+
+CHAIN_SIZES = [2, 4, 6]
+CLIQUE = clique_query(4)
+
+
+@pytest.mark.parametrize("length", CHAIN_SIZES)
+def test_hom_search_chain_into_clique(benchmark, length):
+    """Chains map homomorphically into cliques (many ways: the search
+    space is |clique|^vars)."""
+    chain = chain_query(length)
+    result = benchmark(has_homomorphism, chain, CLIQUE, HomKind.PLAIN)
+    assert result is True
+
+
+@pytest.mark.parametrize("length", CHAIN_SIZES)
+def test_hom_search_negative_instance(benchmark, length):
+    """No hom from a clique into a chain: full backtracking exhaustion."""
+    chain = chain_query(length)
+    result = benchmark(has_homomorphism, CLIQUE, chain, HomKind.PLAIN)
+    assert result is False
+
+
+@pytest.mark.parametrize("vars_", [2, 3, 4, 5])
+def test_complete_description_bell_growth(benchmark, vars_):
+    query = chain_query(vars_ - 1)
+    description = benchmark(complete_description, query)
+    bell = {2: 2, 3: 5, 4: 15, 5: 52}[vars_]
+    assert len(description) == bell
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_sur_infty_matching_growth(benchmark, length):
+    q1 = UCQ((chain_query(length),))
+    q2 = UCQ((chain_query(length), chain_query(length, fan=2)))
+    result = benchmark(sur_infty, q2, q1)
+    assert result is True
+
+
+@pytest.mark.parametrize("kind", [HomKind.PLAIN, HomKind.INJECTIVE,
+                                  HomKind.SURJECTIVE, HomKind.BIJECTIVE],
+                         ids=lambda kind: kind.value)
+def test_hom_kinds_comparable_cost(benchmark, kind):
+    """All four kinds are the same NP-style search with different
+    pruning (Cor. 3.4 / 4.4 / 4.9 / 4.15)."""
+    source = chain_query(4, fan=2)
+    target = chain_query(4, fan=2)
+    result = benchmark(has_homomorphism, source, target, kind)
+    assert result is True

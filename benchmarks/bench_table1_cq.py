@@ -1,0 +1,93 @@
+"""Table 1, CQ column: one benchmark per decidable class.
+
+Each benchmark runs its class's decision procedure over the curated +
+random CQ workload, asserting the expected characterization shape:
+
+* Chom   (B):        containment ⟺ plain homomorphism   (Thm. 3.3)
+* Chcov  (Lin[X]):   containment ⟺ homomorphic covering (Thm. 4.3)
+* Cin    (Sorp[X]):  containment ⟺ injective hom        (Thm. 4.9)
+* Csur   (Why[X]):   containment ⟺ surjective hom       (Thm. 4.14)
+* Cbi    (N[X]):     containment ⟺ bijective hom        (Thm. 4.10)
+* T+/T−: small-model procedure                          (Thm. 4.17)
+
+Timing reproduces the complexity column's *shape*: every procedure is
+an NP-style search that stays fast on these workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import decide_cq_containment
+from repro.homomorphisms import HomKind, covers, has_homomorphism
+from repro.semirings import B, LIN, NX, SORP, TMINUS, TPLUS, WHY
+
+from conftest import curated_cq_pairs, random_cq_pairs
+
+WORKLOAD = curated_cq_pairs() + random_cq_pairs(30)
+
+
+def _run(semiring):
+    return [decide_cq_containment(q1, q2, semiring).result
+            for q1, q2 in WORKLOAD]
+
+
+def test_chom_homomorphism(benchmark):
+    results = benchmark(_run, B)
+    expected = [has_homomorphism(q2, q1, HomKind.PLAIN)
+                for q1, q2 in WORKLOAD]
+    assert results == expected
+
+
+def test_chcov_covering(benchmark):
+    results = benchmark(_run, LIN)
+    expected = [
+        has_homomorphism(q2, q1, HomKind.PLAIN) and covers(q2, q1)
+        for q1, q2 in WORKLOAD
+    ]
+    assert results == expected
+
+
+def test_cin_injective(benchmark):
+    results = benchmark(_run, SORP)
+    expected = [has_homomorphism(q2, q1, HomKind.INJECTIVE)
+                for q1, q2 in WORKLOAD]
+    assert results == expected
+
+
+def test_csur_surjective(benchmark):
+    results = benchmark(_run, WHY)
+    expected = [has_homomorphism(q2, q1, HomKind.SURJECTIVE)
+                for q1, q2 in WORKLOAD]
+    assert results == expected
+
+
+def test_cbi_bijective(benchmark):
+    results = benchmark(_run, NX)
+    expected = [has_homomorphism(q2, q1, HomKind.BIJECTIVE)
+                for q1, q2 in WORKLOAD]
+    assert results == expected
+
+
+def test_tropical_small_model(benchmark):
+    results = benchmark(_run, TPLUS)
+    # The small model refines the Sin bounds: between injective
+    # (sufficient) and plain hom (necessary).
+    for (q1, q2), result in zip(WORKLOAD, results):
+        assert result is not None
+        if has_homomorphism(q2, q1, HomKind.INJECTIVE):
+            assert result is True
+        if not has_homomorphism(q2, q1, HomKind.PLAIN):
+            assert result is False
+    # Ex. 4.6 shape: the first curated pair holds over T+ but not Cin.
+    assert results[0] is True
+
+
+def test_schedule_small_model(benchmark):
+    results = benchmark(_run, TMINUS)
+    for (q1, q2), result in zip(WORKLOAD, results):
+        assert result is not None
+        if has_homomorphism(q2, q1, HomKind.SURJECTIVE):
+            assert result is True
+        if not has_homomorphism(q2, q1, HomKind.PLAIN):
+            assert result is False

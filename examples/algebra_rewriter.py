@@ -1,0 +1,71 @@
+"""A provenance-aware rewrite checker for relational algebra plans.
+
+Run with::
+
+    python examples/algebra_rewriter.py
+
+An optimizer proposes algebraic rewrites; whether they are *safe*
+depends on what the annotations mean.  This example builds plans with
+the positive relational algebra (`repro.algebra`), compiles them to
+UCQs, and certifies three classic rewrites under five annotation
+semantics — reproducing the paper's motivation end-to-end: the same
+rewrite is safe for SELECT DISTINCT (set semantics), safe for lineage,
+and wrong for bag semantics, provenance polynomials, or costs.
+"""
+
+from repro import B, LIN, N, NX, TPLUS, Instance, check_rewrite, table
+from repro.queries import evaluate_all
+
+SEMIRINGS = (B, LIN, TPLUS, NX, N)
+
+
+def certify(name: str, original, rewritten) -> None:
+    print(f"  rewrite: {name}")
+    for semiring in SEMIRINGS:
+        check = check_rewrite(original, rewritten, semiring)
+        print(f"    {semiring.name:7s} {check.summary()}")
+    print()
+
+
+def main() -> None:
+    orders = table("Orders", "cust", "item")
+    items = table("Items", "item", "cat")
+
+    print("== certifying optimizer rewrites across semantics ==\n")
+
+    # 1. self-join elimination
+    doubled = orders.join(orders.rename({"item": "item2"})).project("cust")
+    single = orders.project("cust")
+    certify("drop self-join branch", doubled, single)
+
+    # 2. push projection through join (no column lost): always safe
+    plan_a = orders.join(items).project("cust", "cat")
+    plan_b = orders.join(items.project("item", "cat")).project("cust", "cat")
+    certify("push projection", plan_a, plan_b)
+
+    # 3. union deduplication
+    once = orders.project("cust")
+    twice = once.union(once)
+    certify("deduplicate union branches", twice, once)
+
+    # --- why it matters: run the plans over an annotated database -------
+    print("== the plans differ on real annotated data ==")
+    bag = Instance(N, {
+        "Orders": {("ada", "chair"): 2, ("ada", "desk"): 1},
+        "Items": {("chair", "furniture"): 1, ("desk", "furniture"): 1},
+    })
+    print("  bag counts, original self-join:",
+          doubled.evaluate(bag))
+    print("  bag counts, rewritten:        ",
+          single.evaluate(bag))
+    print("  -> (2+1)² = 9 ≠ 3: the rewrite corrupts SQL COUNT results,")
+    print("     exactly as the N[X]/N verdicts above predict.")
+
+    print()
+    print("== compiled UCQs behind the certificates ==")
+    print("  original:", doubled.to_ucq())
+    print("  rewrite: ", single.to_ucq())
+
+
+if __name__ == "__main__":
+    main()

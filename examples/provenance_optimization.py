@@ -1,0 +1,75 @@
+"""Provenance-aware query optimization on a film database.
+
+Run with::
+
+    python examples/provenance_optimization.py
+
+Scenario: a curated film database annotates every fact with a
+provenance token (``N[X]``).  The optimizer wants to rewrite queries —
+but rewritings that are valid under set semantics destroy provenance.
+This example walks the whole spectrum of Table 1: minimization under
+``B`` vs ``Lin[X]`` vs ``Why[X]`` vs ``N[X]``, UCQ redundancy at
+different offsets (Ex. 5.7 of the paper), and shows the provenance
+polynomials before and after.
+"""
+
+from repro import (B, BX, LIN, NX, WHY, UCQ, decide_ucq_containment,
+                   evaluate_all, parse_cq, parse_ucq)
+from repro.data import movie_provenance_db
+from repro.optimize import eliminate_redundant_members, minimize_cq
+
+
+def main() -> None:
+    db = movie_provenance_db()
+
+    # Directors whose film has *some* genre, joined twice by a sloppy
+    # query generator:
+    sloppy = parse_cq(
+        "Q(d) :- Directed(d, f), Genre(f, g), Genre(f, h)")
+
+    print("== minimization depends on the annotation semiring ==")
+    for semiring in (B, LIN, WHY, NX):
+        result = minimize_cq(sloppy, semiring)
+        print(f"  over {semiring.name:7s}: {len(result.query.atoms)} atoms "
+              f"(removed {result.removed})")
+
+    print()
+    print("== and it matters: the provenance of the answers ==")
+    minimized_b = minimize_cq(sloppy, B).query
+    for name, query in (("original", sloppy), ("B-minimized", minimized_b)):
+        answers = evaluate_all(query, db)
+        polynomial = answers.get(("kurosawa",))
+        print(f"  {name:12s} provenance of kurosawa: {polynomial}")
+    print("  -> the set-semantics rewrite loses the squared genre factor:")
+    print("     safe over B, WRONG over N[X] (Thm. 4.10: only bijective")
+    print("     homomorphisms preserve provenance).")
+
+    # --- UCQ redundancy and offsets (Ex. 5.7) ---------------------------
+    print()
+    print("== union redundancy at different offsets (Ex. 5.7) ==")
+    union = parse_ucq([
+        "Q() :- Directed(d, f), Directed(d, d2)",
+        "Q() :- Directed(d, f), Directed(d, d2)",
+    ])
+    for semiring in (B, BX, NX):
+        result = eliminate_redundant_members(union, semiring)
+        print(f"  over {semiring.name:5s}: {len(result.query)} member(s) "
+              f"left of {len(union)}")
+    print("  -> ⊕-idempotent semirings drop the duplicate, N[X] must not")
+    print("     (Prop. 5.10 counts isomorphic CCQs with multiplicity).")
+
+    # --- the paper's Ex. 5.7 verbatim ------------------------------------
+    print()
+    print("== Ex. 5.7: a union containment no pairwise check can see ==")
+    q1 = parse_ucq(["Q() :- R(u, v), R(u, u)", "Q() :- R(u, v), R(v, v)"])
+    q2 = parse_ucq(["Q() :- R(u, v), R(w, w)", "Q() :- R(u, u), R(u, u)"])
+    verdict = decide_ucq_containment(q1, q2, NX)
+    print(f"  Q1 ⊆N[X] Q2: {verdict.result} via {verdict.method}")
+    q1_plus = q1.with_member(parse_cq("Q() :- R(u, u), R(u, u)"))
+    verdict = decide_ucq_containment(q1_plus, q2, NX)
+    print(f"  after adding a third loop copy: {verdict.result} "
+          f"(the counting breaks, Prop. 5.9)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Cheapest-itinerary planning over the tropical semiring ``T+``.
+
+Run with::
+
+    python examples/tropical_cost_planning.py
+
+The tropical semiring has *no* homomorphism characterization of
+containment (it sits in ``Sin`` but outside ``Nin`` — Ex. 4.6 of the
+paper), so the library decides containment with the small-model
+procedure of Thm. 4.17: compare CQ-admissible polynomials on the
+canonical instances of the complete description.  This example shows
+both the planning queries and the paper's exact worked examples.
+"""
+
+from repro import (TPLUS, canonical_instance, complete_description,
+                   decide_cq_containment, decide_ucq_containment, evaluate,
+                   evaluate_all, parse_cq, parse_ucq, NX)
+from repro.data import travel_costs_db
+
+
+def main() -> None:
+    db = travel_costs_db()
+
+    print("== cheapest itineraries (min-plus evaluation) ==")
+    direct = parse_cq("Q(x, z) :- Flight(x, z)")
+    one_stop = parse_cq("Q(x, z) :- Flight(x, y), Flight(y, z)")
+    any_route = parse_ucq(["Q(x, z) :- Flight(x, z)",
+                           "Q(x, z) :- Flight(x, y), Flight(y, z)"])
+    trip = ("edinburgh", "paris")
+    print(f"  direct {trip}: {evaluate(direct, db, trip)}")
+    print(f"  one stop:      {evaluate(one_stop, db, trip)}")
+    print(f"  best of both:  {evaluate(any_route, db, trip)}")
+    print(f"  all reachable one-stop destinations: "
+          f"{sorted(evaluate_all(one_stop, db))}")
+
+    # --- Ex. 4.6: containment without an injective homomorphism ---------
+    print()
+    print("== Ex. 4.6: T+ containment beyond homomorphisms ==")
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    print(f"  ⟨Q1⟩ has {len(complete_description(q1))} CCQs:")
+    for ccq in complete_description(q1):
+        print(f"    {ccq}")
+    finest = [c for c in complete_description(q1)
+              if len(c.existential_vars()) == 3][0]
+    tagged = canonical_instance(finest)
+    p1 = evaluate(q1, tagged.instance, (), NX)
+    p2 = evaluate(q2, tagged.instance, (), NX)
+    print(f"  Q1^[[Q11]] = {p1}")
+    print(f"  Q2^[[Q11]] = {p2}")
+    print(f"  P1 ≼T+ P2: {TPLUS.poly_leq(p1, p2)}   "
+          f"P2 ≼T+ P1: {TPLUS.poly_leq(p2, p1)}")
+    verdict = decide_cq_containment(q1, q2, TPLUS)
+    print(f"  => Q1 ⊆T+ Q2: {verdict.result} via {verdict.method}")
+    print("     (no injective homomorphism Q2 →֒ Q1 exists!)")
+
+    # --- Ex. 5.4: unions need the non-local test ------------------------
+    print()
+    print("== Ex. 5.4: union containment that no local check sees ==")
+    u1 = parse_ucq(["Q() :- R(v), S(v)"])
+    u2 = parse_ucq(["Q() :- R(v), R(v)", "Q() :- S(v), S(v)"])
+    print(f"  Q11 ⊆T+ Q21: "
+          f"{decide_cq_containment(u1.cqs[0], u2.cqs[0], TPLUS).result}")
+    print(f"  Q11 ⊆T+ Q22: "
+          f"{decide_cq_containment(u1.cqs[0], u2.cqs[1], TPLUS).result}")
+    verdict = decide_ucq_containment(u1, u2, TPLUS)
+    print(f"  but Q1 ⊆T+ Q2 as unions: {verdict.result} "
+          f"via {verdict.method}")
+
+    # --- planning payoff: certified rewrite ------------------------------
+    print()
+    print("== certified cost-safe rewriting ==")
+    padded = parse_cq("Q(x, z) :- Flight(x, y), Flight(y, z), Flight(y, z)")
+    verdict = decide_cq_containment(one_stop, padded, TPLUS)
+    print(f"  one_stop ⊆T+ padded: {verdict.result} — the padded plan")
+    print("  double-charges the second leg, so it can only cost more;")
+    reverse = decide_cq_containment(padded, one_stop, TPLUS)
+    print(f"  padded ⊆T+ one_stop: {reverse.result} "
+          f"(cheaper plans are not contained)")
+
+
+if __name__ == "__main__":
+    main()

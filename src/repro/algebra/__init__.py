@@ -1,0 +1,10 @@
+"""Positive relational algebra over K-relations, compiled to UCQs."""
+
+from .expressions import (Join, Projection, RAExpression, Renaming,
+                          Selection, Table, Union, table)
+from .rewriting import RewriteCheck, check_rewrite
+
+__all__ = [
+    "Join", "Projection", "RAExpression", "Renaming", "RewriteCheck",
+    "Selection", "Table", "Union", "check_rewrite", "table",
+]

@@ -1,0 +1,370 @@
+"""Positive relational algebra over K-relations (Green et al., PODS'07).
+
+The paper's annotation semantics is usually *used* through the positive
+relational algebra: selections, projections, natural joins, renamings
+and unions, with annotations combined by ``⊗`` along joint use and
+``⊕`` along alternative derivations.  This module provides that layer:
+
+* expression constructors: :func:`table`, plus methods ``select``,
+  ``project``, ``join``, ``rename``, ``union``;
+* direct evaluation over an :class:`~repro.data.instance.Instance`
+  (:meth:`RAExpression.evaluate`);
+* compilation into a :class:`~repro.queries.ucq.UCQ`
+  (:meth:`RAExpression.to_ucq`), connecting the algebra to the paper's
+  containment machinery — rewrite rules stated on algebra expressions
+  are checked with the Table-1 procedures.
+
+Expressions use *named* attributes; selections compare an attribute to
+a constant or another attribute (positive conditions only — negation
+would leave the semiring framework, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from ..data.instance import Instance
+from ..queries.atoms import Atom, Var
+from ..queries.cq import CQ
+from ..queries.ucq import UCQ
+
+__all__ = [
+    "RAExpression",
+    "Table",
+    "Selection",
+    "Projection",
+    "Renaming",
+    "Join",
+    "Union",
+    "table",
+]
+
+
+class RAExpression:
+    """Base class for positive relational-algebra expressions.
+
+    Subclasses implement ``attributes`` (the output schema, an attribute
+    name tuple), ``_rows`` (annotated evaluation) and ``_conjuncts``
+    (compilation to conjunctive normal parts).
+    """
+
+    #: Output attribute names, in order.
+    attributes: tuple[str, ...] = ()
+
+    # -- construction sugar ------------------------------------------------
+
+    def select(self, attribute: str, value) -> "Selection":
+        """Keep rows whose ``attribute`` equals a constant or another
+        attribute (pass an attribute name prefixed with ``@``)."""
+        return Selection(self, attribute, value)
+
+    def project(self, *attributes: str) -> "Projection":
+        """Project (with possible reordering/duplication) onto
+        ``attributes``."""
+        return Projection(self, tuple(attributes))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Renaming":
+        """Rename attributes (missing names are kept)."""
+        return Renaming(self, dict(mapping))
+
+    def join(self, other: "RAExpression") -> "Join":
+        """Natural join on the shared attribute names."""
+        return Join(self, other)
+
+    def union(self, other: "RAExpression") -> "Union":
+        """Union (annotations add); schemas must match."""
+        return Union(self, other)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> dict[tuple, Any]:
+        """Annotated result: output tuple → non-zero annotation."""
+        semiring = instance.semiring
+        answers: dict[tuple, Any] = {}
+        for row, annotation in self._rows(instance):
+            if row in answers:
+                answers[row] = semiring.add(answers[row], annotation)
+            else:
+                answers[row] = annotation
+        return {
+            row: value for row, value in answers.items()
+            if not semiring.is_zero(value)
+        }
+
+    def _rows(self, instance: Instance) -> Iterator[tuple[tuple, Any]]:
+        raise NotImplementedError
+
+    # -- compilation ----------------------------------------------------------
+
+    def to_ucq(self) -> UCQ:
+        """Compile into a UCQ with head ``Q(attributes…)``.
+
+        The compilation is exact for the positive algebra: evaluation of
+        the UCQ over any K-instance agrees with :meth:`evaluate` (tested
+        property).  Union distributes over the other operators, so the
+        result is a union of one CQ per join/select/project tree branch.
+        """
+        branches = self._branches()
+        cqs = []
+        for index, branch in enumerate(branches):
+            cqs.append(branch._to_cq(f"b{index}", self.attributes))
+        return UCQ(tuple(cqs))
+
+    def _branches(self) -> list["RAExpression"]:
+        """Push unions to the top; default: a single branch."""
+        return [self]
+
+    def _to_cq(self, prefix: str, attributes: tuple[str, ...]) -> CQ:
+        bindings: dict[str, Any] = {}
+        atoms: list[Atom] = []
+        self._compile(prefix, bindings, atoms)
+        head = []
+        for attribute in attributes:
+            term = bindings[attribute]
+            if not isinstance(term, Var):
+                raise ValueError(
+                    f"attribute {attribute!r} is bound to the constant "
+                    f"{term!r}; project it away or keep the selection "
+                    "column — CQ heads carry variables only")
+            head.append(term)
+        return CQ(tuple(head), atoms)
+
+    def _compile(self, prefix: str, bindings: dict[str, Any],
+                 atoms: list[Atom]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Table(RAExpression):
+    """A named base relation with an attribute list."""
+
+    name: str
+    schema: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError("attribute names must be distinct")
+        object.__setattr__(self, "attributes", tuple(self.schema))
+
+    def _rows(self, instance: Instance):
+        yield from instance.support(self.name)
+
+    def _compile(self, prefix, bindings, atoms):
+        terms = []
+        for attribute in self.schema:
+            if attribute in bindings:
+                terms.append(bindings[attribute])
+            else:
+                var = Var(f"{prefix}_{attribute}")
+                bindings[attribute] = var
+                terms.append(var)
+        atoms.append(Atom(self.name, terms))
+
+
+@dataclass(frozen=True)
+class Selection(RAExpression):
+    """``σ_{attribute = value}``; ``value`` may be ``"@other"``."""
+
+    source: RAExpression
+    attribute: str
+    value: Any
+
+    def __post_init__(self):
+        if self.attribute not in self.source.attributes:
+            raise ValueError(f"unknown attribute {self.attribute!r}")
+        if (isinstance(self.value, str) and self.value.startswith("@")
+                and self.value[1:] not in self.source.attributes):
+            raise ValueError(f"unknown attribute {self.value!r}")
+        object.__setattr__(self, "attributes", self.source.attributes)
+
+    def _position(self, attribute: str) -> int:
+        return self.source.attributes.index(attribute)
+
+    def _rows(self, instance: Instance):
+        position = self._position(self.attribute)
+        if isinstance(self.value, str) and self.value.startswith("@"):
+            other = self._position(self.value[1:])
+            for row, annotation in self.source._rows(instance):
+                if row[position] == row[other]:
+                    yield row, annotation
+        else:
+            for row, annotation in self.source._rows(instance):
+                if row[position] == self.value:
+                    yield row, annotation
+
+    def _branches(self):
+        return [Selection(branch, self.attribute, self.value)
+                for branch in self.source._branches()]
+
+    def _compile(self, prefix, bindings, atoms):
+        if isinstance(self.value, str) and self.value.startswith("@"):
+            # equate the two attributes by sharing one variable
+            other = self.value[1:]
+            shared = bindings.get(self.attribute, bindings.get(other))
+            if shared is None:
+                shared = Var(f"{prefix}_{self.attribute}")
+            bindings[self.attribute] = shared
+            bindings[other] = shared
+        else:
+            bindings[self.attribute] = self.value
+        self.source._compile(prefix, bindings, atoms)
+
+
+@dataclass(frozen=True)
+class Projection(RAExpression):
+    """``π_{attributes}`` (annotations of merged rows add up)."""
+
+    source: RAExpression
+    columns: tuple[str, ...]
+
+    def __post_init__(self):
+        for attribute in self.columns:
+            if attribute not in self.source.attributes:
+                raise ValueError(f"unknown attribute {attribute!r}")
+        object.__setattr__(self, "attributes", tuple(self.columns))
+
+    def _rows(self, instance: Instance):
+        positions = [self.source.attributes.index(a) for a in self.columns]
+        for row, annotation in self.source._rows(instance):
+            yield tuple(row[p] for p in positions), annotation
+
+    def _branches(self):
+        return [Projection(branch, self.columns)
+                for branch in self.source._branches()]
+
+    def _compile(self, prefix, bindings, atoms):
+        self.source._compile(prefix, bindings, atoms)
+
+
+@dataclass(frozen=True)
+class Renaming(RAExpression):
+    """``ρ``: attribute renaming."""
+
+    source: RAExpression
+    mapping: Mapping[str, str]
+
+    def __post_init__(self):
+        for attribute in self.mapping:
+            if attribute not in self.source.attributes:
+                raise ValueError(f"unknown attribute {attribute!r}")
+        renamed = tuple(
+            self.mapping.get(a, a) for a in self.source.attributes)
+        if len(set(renamed)) != len(renamed):
+            raise ValueError("renaming collides attribute names")
+        object.__setattr__(self, "attributes", renamed)
+        object.__setattr__(self, "mapping", dict(self.mapping))
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.source,
+                     tuple(sorted(self.mapping.items()))))
+
+    def _rows(self, instance: Instance):
+        yield from self.source._rows(instance)
+
+    def _branches(self):
+        return [Renaming(branch, self.mapping)
+                for branch in self.source._branches()]
+
+    def _compile(self, prefix, bindings, atoms):
+        inner: dict[str, Any] = {}
+        for outer_name, term in bindings.items():
+            for source_name, target_name in self.mapping.items():
+                if target_name == outer_name:
+                    inner[source_name] = term
+                    break
+            else:
+                if outer_name in self.source.attributes:
+                    inner[outer_name] = term
+        self.source._compile(prefix, inner, atoms)
+        for source_name, target_name in self.mapping.items():
+            bindings[target_name] = inner[source_name]
+        for attribute in self.source.attributes:
+            if attribute not in self.mapping:
+                bindings[attribute] = inner[attribute]
+
+
+@dataclass(frozen=True)
+class Join(RAExpression):
+    """Natural join: shared attributes must agree; annotations multiply."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def __post_init__(self):
+        shared = [a for a in self.left.attributes
+                  if a in self.right.attributes]
+        extra = [a for a in self.right.attributes
+                 if a not in self.left.attributes]
+        object.__setattr__(self, "attributes",
+                           tuple(self.left.attributes) + tuple(extra))
+        object.__setattr__(self, "_shared", tuple(shared))
+
+    def _rows(self, instance: Instance):
+        semiring = instance.semiring
+        left_attrs = self.left.attributes
+        right_attrs = self.right.attributes
+        shared = self._shared
+        right_rows = list(self.right._rows(instance))
+        for left_row, left_annotation in self.left._rows(instance):
+            left_key = tuple(
+                left_row[left_attrs.index(a)] for a in shared)
+            for right_row, right_annotation in right_rows:
+                right_key = tuple(
+                    right_row[right_attrs.index(a)] for a in shared)
+                if left_key != right_key:
+                    continue
+                extra = tuple(
+                    right_row[right_attrs.index(a)]
+                    for a in self.attributes[len(left_attrs):])
+                yield (left_row + extra,
+                       semiring.mul(left_annotation, right_annotation))
+
+    def _branches(self):
+        return [
+            Join(left_branch, right_branch)
+            for left_branch in self.left._branches()
+            for right_branch in self.right._branches()
+        ]
+
+    def _compile(self, prefix, bindings, atoms):
+        left_bindings = {
+            a: bindings[a] for a in self.left.attributes if a in bindings}
+        self.left._compile(prefix + "l", left_bindings, atoms)
+        right_bindings = {
+            a: bindings[a] for a in self.right.attributes if a in bindings}
+        for attribute in self._shared:
+            right_bindings[attribute] = left_bindings[attribute]
+        self.right._compile(prefix + "r", right_bindings, atoms)
+        bindings.update(left_bindings)
+        bindings.update(right_bindings)
+
+
+@dataclass(frozen=True)
+class Union(RAExpression):
+    """Union of two same-schema expressions (annotations add)."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def __post_init__(self):
+        if self.left.attributes != self.right.attributes:
+            raise ValueError(
+                f"union needs matching schemas, got "
+                f"{self.left.attributes} and {self.right.attributes}")
+        object.__setattr__(self, "attributes", self.left.attributes)
+
+    def _rows(self, instance: Instance):
+        yield from self.left._rows(instance)
+        yield from self.right._rows(instance)
+
+    def _branches(self):
+        return self.left._branches() + self.right._branches()
+
+    def _compile(self, prefix, bindings, atoms):  # pragma: no cover
+        raise AssertionError("unions are expanded by _branches first")
+
+
+def table(name: str, *schema: str) -> Table:
+    """Create a base-relation expression: ``table("R", "src", "dst")``."""
+    return Table(name, tuple(schema))

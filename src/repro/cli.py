@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Usage (after installation)::
+
+    python -m repro semirings
+    python -m repro classify "N[X]"
+    python -m repro contain --semiring T+ \\
+        --q1 "Q() :- R(v), S(v)" \\
+        --q2 "Q() :- R(v), R(v)" --q2 "Q() :- S(v), S(v)"
+    python -m repro minimize --semiring B "Q(x) :- R(x, y), R(x, z)"
+    python -m repro evaluate --semiring N \\
+        --fact "R(a, b) = 2" --fact "S(b) = 3" "Q(x) :- R(x, y), S(y)"
+
+Annotations on ``--fact`` are parsed as integers (mapped through the
+semiring: a count for ``N``, a cost for ``T+``, …) or, for the
+polynomial-like semirings, as variable names (``= x1`` tags the fact
+with a fresh provenance token).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import classify, decide_cq_containment, decide_ucq_containment
+from .data import Instance
+from .optimize import minimize_cq
+from .queries import UCQ, evaluate_all, parse_cq, parse_ucq
+from .queries.parser import ParseError
+from .semirings import ALL_SEMIRINGS, get_semiring
+
+__all__ = ["main"]
+
+
+def _parse_fact(text: str, semiring):
+    """Parse ``"R(a, b) = value"`` into (relation, row, annotation)."""
+    if "=" not in text:
+        raise ValueError(f"fact needs '= annotation': {text!r}")
+    atom_text, _, value_text = text.rpartition("=")
+    atom_query = parse_cq(f"F() :- {atom_text.strip()}")
+    atom = atom_query.atoms[0]
+    if atom.variables():
+        raise ValueError(f"facts must be ground (constants only): {text!r}")
+    value_text = value_text.strip()
+    if value_text.lstrip("-").isdigit():
+        annotation = semiring.normalize(int(value_text))
+    elif hasattr(semiring, "var"):
+        annotation = semiring.var(value_text)
+    else:
+        raise ValueError(
+            f"cannot parse annotation {value_text!r} for {semiring.name}")
+    return atom.relation, atom.terms, annotation
+
+
+def _cmd_semirings(_args) -> int:
+    print(f"{'name':12s} {'CQ class':8s} {'UCQ class':9s} "
+          f"{'small-model':11s} notes")
+    for semiring in ALL_SEMIRINGS:
+        cls = classify(semiring)
+        print(f"{semiring.name:12s} {cls.cq_exact_class() or '-':8s} "
+              f"{cls.ucq_exact_class() or '-':9s} "
+              f"{str(cls.small_model):11s} "
+              f"{semiring.properties.notes.split('.')[0]}")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    semiring = get_semiring(args.semiring)
+    cls = classify(semiring)
+    print(f"{semiring.name}: offset = "
+          f"{'∞' if cls.offset == float('inf') else int(cls.offset)}")
+    for name, member in cls.memberships().items():
+        marker = "✓" if member else "·"
+        print(f"  {marker} {name}")
+    return 0
+
+
+def _cmd_contain(args) -> int:
+    semiring = get_semiring(args.semiring)
+    if args.q1 is None or args.q2 is None:
+        raise ValueError("--q1 and --q2 are required (repeat for unions)")
+    q1, q2 = parse_ucq(args.q1), parse_ucq(args.q2)
+    if len(q1) == 1 and len(q2) == 1:
+        verdict = decide_cq_containment(q1.cqs[0], q2.cqs[0], semiring)
+    else:
+        verdict = decide_ucq_containment(q1, q2, semiring)
+    answer = {True: "CONTAINED", False: "NOT CONTAINED",
+              None: "UNDECIDED"}[verdict.result]
+    print(f"{answer}  [{verdict.method}]")
+    if verdict.explanation:
+        print(f"  {verdict.explanation}")
+    if verdict.result is None:
+        print(f"  necessary conditions hold: {verdict.necessary}")
+        print(f"  sufficient conditions hold: {verdict.sufficient}")
+    if args.explain:
+        from .core.explain import explain
+        explanation = explain(
+            q1.cqs[0] if len(q1) == 1 and len(q2) == 1 else q1,
+            q2.cqs[0] if len(q1) == 1 and len(q2) == 1 else q2,
+            semiring)
+        print(f"  {explanation.summary()}")
+        if explanation.witness is not None:
+            print(f"  witness instance: {explanation.witness.instance!r}")
+            print(f"  at tuple {explanation.witness.target}: "
+                  f"{explanation.witness.lhs!r} ⋠ "
+                  f"{explanation.witness.rhs!r}")
+    return 0 if verdict.result is not None else 2
+
+
+def _cmd_minimize(args) -> int:
+    semiring = get_semiring(args.semiring)
+    query = parse_cq(args.query)
+    result = minimize_cq(query, semiring)
+    print(f"input:     {query}")
+    print(f"minimized: {result.query}")
+    print(f"removed {result.removed} atom(s) under {semiring.name}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    semiring = get_semiring(args.semiring)
+    facts = [_parse_fact(text, semiring) for text in args.fact or []]
+    instance = Instance.from_facts(semiring, facts)
+    query = parse_cq(args.query)
+    answers = evaluate_all(query, instance)
+    if not answers:
+        print("no answers (all annotations are 0)")
+        return 0
+    for row, annotation in sorted(answers.items(), key=lambda kv: repr(kv[0])):
+        print(f"  {row} ↦ {annotation!r}")
+    return 0
+
+
+def _cmd_falsify(args) -> int:
+    import random
+
+    from .core.axiom_search import (admissible_probe_polynomials,
+                                    falsify_nhcov, falsify_nin,
+                                    falsify_nk_bi, falsify_nk_hcov,
+                                    falsify_nsur, probe_polynomials)
+
+    semiring = get_semiring(args.semiring)
+    if not semiring.properties.poly_order_decidable:
+        print(f"error: {semiring.name} has no decidable polynomial order; "
+              "the axiom search needs poly_leq", file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    probes = probe_polynomials(rng)
+    admissible = admissible_probe_polynomials(rng)
+    searches = {
+        "nhcov": lambda: falsify_nhcov(semiring),
+        "nin": lambda: falsify_nin(semiring, admissible),
+        "nsur": lambda: falsify_nsur(semiring, admissible),
+        "n1hcov": lambda: falsify_nk_hcov(semiring, 1, probes),
+        "n2hcov": lambda: falsify_nk_hcov(semiring, 2, probes),
+        "n1bi": lambda: falsify_nk_bi(semiring, 1, probes),
+        "ninf_bi": lambda: falsify_nk_bi(semiring, float("inf"), probes),
+    }
+    names = [args.axiom] if args.axiom else sorted(searches)
+    for name in names:
+        if name not in searches:
+            print(f"error: unknown axiom {name!r}; choose from "
+                  f"{sorted(searches)}", file=sys.stderr)
+            return 1
+        violation = searches[name]()
+        if violation is None:
+            print(f"  {name:8s}: no violation found (bounded search)")
+        else:
+            print(f"  {name:8s}: VIOLATED — {violation.left!r} ≼ "
+                  f"{violation.right!r} ({violation.detail})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Annotation-semiring query containment "
+                    "(Kostylev-Reutter-Salamon, PODS 2012)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "semirings", help="list registered semirings and their classes"
+    ).set_defaults(func=_cmd_semirings)
+
+    classify_cmd = commands.add_parser(
+        "classify", help="show every class membership of one semiring")
+    classify_cmd.add_argument("semiring")
+    classify_cmd.set_defaults(func=_cmd_classify)
+
+    contain = commands.add_parser(
+        "contain", help="decide Q1 ⊆K Q2 (repeat --q1/--q2 for unions)")
+    contain.add_argument("--semiring", required=True)
+    contain.add_argument("--q1", action="append")
+    contain.add_argument("--q2", action="append")
+    contain.add_argument("--explain", action="store_true",
+                         help="re-check certificates / search for a "
+                              "semantic witness")
+    contain.set_defaults(func=_cmd_contain)
+
+    minimize = commands.add_parser(
+        "minimize", help="remove atoms while preserving K-equivalence")
+    minimize.add_argument("--semiring", required=True)
+    minimize.add_argument("query")
+    minimize.set_defaults(func=_cmd_minimize)
+
+    evaluate_cmd = commands.add_parser(
+        "evaluate", help="evaluate a query over --fact annotations")
+    evaluate_cmd.add_argument("--semiring", required=True)
+    evaluate_cmd.add_argument("--fact", action="append")
+    evaluate_cmd.add_argument("query")
+    evaluate_cmd.set_defaults(func=_cmd_evaluate)
+
+    falsify = commands.add_parser(
+        "falsify", help="probe the necessary-class axioms of a semiring")
+    falsify.add_argument("semiring")
+    falsify.add_argument("--axiom", help="one of nhcov/nin/nsur/n1hcov/"
+                                         "n2hcov/n1bi/ninf_bi (default all)")
+    falsify.add_argument("--seed", type=int, default=11)
+    falsify.set_defaults(func=_cmd_falsify)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ParseError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,252 @@
+"""Executable necessary-class axioms (Secs. 4.1–5.4).
+
+The paper defines the necessary classes through universally quantified
+conditions on polynomials, e.g. ``Nhcov``: for every ``n, k ≥ 1``
+
+    ``x1 × … × xn × y  ⋠K  (x1 + … + xn)^k``.
+
+For semirings with a decidable polynomial order (``poly_leq``) these
+axioms become *checkable*: this module probes them over bounded
+parameter ranges and probe-polynomial pools, returning either a
+concrete **violation certificate** — the polynomial pair witnessing
+that the semiring falls outside the class — or a clean bounded report.
+
+This is how the library discovered that the saturating bag semiring
+``N₂`` is *not* in the covering-necessity classes (``r·s ≼N₂ r + r``
+although the right side drops ``s``), which forced the ``C2hcov``
+representative to be the product ``Lin[X] × N₂`` (see DESIGN.md).
+
+A bounded pass can *refute* membership (any violation disproves the
+universal axiom) but can only *support* it; the registry's declared
+flags remain the source of truth for the dispatcher, and the test suite
+requires every declared-False flag of an order-decidable semiring to be
+refutable by this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from ..data.canonical import canonical_instance
+from ..polynomials.polynomial import Monomial, Polynomial
+from ..queries.evaluation import evaluate
+from ..queries.generators import random_cq
+
+__all__ = [
+    "AxiomViolation",
+    "falsify_nhcov",
+    "falsify_nin",
+    "falsify_nsur",
+    "falsify_nk_hcov",
+    "falsify_nk_bi",
+    "admissible_probe_polynomials",
+    "probe_polynomials",
+]
+
+
+@dataclass(frozen=True)
+class AxiomViolation:
+    """A concrete witness that a necessary-class axiom fails.
+
+    ``axiom`` names the class, ``left ≼ right`` is the inequality that
+    holds although the axiom forbids it (or whose required conclusion
+    about ``right`` fails), and ``detail`` explains which conclusion
+    broke.
+    """
+
+    axiom: str
+    left: Polynomial
+    right: Polynomial
+    detail: str
+
+    def __repr__(self) -> str:
+        return (f"AxiomViolation({self.axiom}: {self.left!r} ≼ "
+                f"{self.right!r} — {self.detail})")
+
+
+def _variables(n: int) -> list[str]:
+    return [f"x{i}" for i in range(1, n + 1)]
+
+
+def falsify_nhcov(semiring, max_n: int = 3,
+                  max_k: int = 3) -> AxiomViolation | None:
+    """Search for ``x1⋯xn·y ≼K (x1+…+xn)^k`` (refuting ``Nhcov``)."""
+    for n in range(1, max_n + 1):
+        names = _variables(n)
+        product = Polynomial.from_monomial(
+            Monomial.from_variables(names + ["y"]))
+        total = Polynomial(
+            ((Monomial.variable(name), 1) for name in names))
+        for k in range(1, max_k + 1):
+            power = total.power(k)
+            if semiring.poly_leq(product, power):
+                return AxiomViolation(
+                    "Nhcov", product, power,
+                    f"covering axiom fails at n={n}, k={k}")
+    return None
+
+
+def _squarefree_submonomial(poly: Polynomial,
+                            names: Iterable[str]) -> Monomial | None:
+    """A monomial of ``poly`` that is a product of distinct variables
+    from ``names`` (the Nin conclusion), or None."""
+    names = set(names)
+    for mono, _ in poly.items():
+        if mono.is_squarefree() and mono.variables() <= names \
+                and not mono.is_unit():
+            return mono
+    return None
+
+
+def _full_support_monomial(poly: Polynomial,
+                           names: Iterable[str]) -> Monomial | None:
+    """A monomial of ``poly`` using exactly the variables ``names`` with
+    positive exponents (the Nsur conclusion), or None."""
+    names = set(names)
+    for mono, _ in poly.items():
+        if mono.variables() == names:
+            return mono
+    return None
+
+
+def falsify_nin(semiring, probes: Iterable[Polynomial],
+                max_n: int = 2) -> AxiomViolation | None:
+    """Refute ``Nin``: find CQ-admissible ``P`` and variables with
+    ``x1⋯xn ≼K P`` but no square-free sub-monomial in ``P``."""
+    return _falsify_monomial_axiom(
+        semiring, probes, max_n, "Nin", _squarefree_submonomial)
+
+
+def falsify_nsur(semiring, probes: Iterable[Polynomial],
+                 max_n: int = 2) -> AxiomViolation | None:
+    """Refute ``Nsur``: ``x1⋯xn ≼K P`` without a full-support monomial."""
+    return _falsify_monomial_axiom(
+        semiring, probes, max_n, "Nsur", _full_support_monomial)
+
+
+def _falsify_monomial_axiom(semiring, probes, max_n, axiom, conclusion):
+    for poly in probes:
+        universe = sorted(poly.variables() | {"y0"})
+        for n in range(1, max_n + 1):
+            for names in combinations(universe, n):
+                product = Polynomial.from_monomial(
+                    Monomial.from_variables(names))
+                if not semiring.poly_leq(product, poly):
+                    continue
+                if conclusion(poly, names) is None:
+                    return AxiomViolation(
+                        axiom, product, poly,
+                        f"≼ holds but the {axiom} conclusion fails for "
+                        f"variables {names}")
+    return None
+
+
+def falsify_nk_hcov(semiring, k: int, probes: Iterable[Polynomial],
+                    max_n: int = 2,
+                    max_ell: int = 3) -> AxiomViolation | None:
+    """Refute ``Nkhcov`` (Prop. 5.22): ``ℓ(x1⋯xn) ≼K P`` must imply
+    that ``P`` uses all the variables and carries at least ``min(ℓ,k)``
+    monomials (with multiplicity)."""
+    for poly in probes:
+        if poly.constant_term():
+            continue
+        universe = sorted(poly.variables() | {"y0"})
+        for n in range(1, max_n + 1):
+            for names in combinations(universe, n):
+                base = Polynomial.from_monomial(
+                    Monomial.from_variables(names))
+                for ell in range(1, max_ell + 1):
+                    scaled = base.scale(ell)
+                    if not semiring.poly_leq(scaled, poly):
+                        continue
+                    used = frozenset().union(
+                        *(m.variables() for m, _ in poly.items()))
+                    if not set(names) <= used:
+                        return AxiomViolation(
+                            f"N{k}hcov", scaled, poly,
+                            f"≼ holds but {set(names) - used} unused")
+                    if poly.total_multiplicity() < min(ell, k):
+                        return AxiomViolation(
+                            f"N{k}hcov", scaled, poly,
+                            f"≼ holds with only "
+                            f"{poly.total_multiplicity()} < min({ell},{k}) "
+                            "monomials")
+    return None
+
+
+def falsify_nk_bi(semiring, k: float, probes: Iterable[Polynomial],
+                  max_ell: int = 3) -> AxiomViolation | None:
+    """Refute the ``Nkbi``/``C∞bi`` axiom: ``ℓ·M ≼K P`` must give ``M``
+    a coefficient of at least ``min(ℓ, k)`` in ``P`` (Sec. 5.2; the
+    ``k = ∞`` case is the paper's ``C∞bi`` condition verbatim)."""
+    seen_monomials: set[Monomial] = set()
+    for poly in probes:
+        seen_monomials.update(poly.monomials())
+    candidates = sorted(seen_monomials) or [Monomial.variable("x1")]
+    for poly in probes:
+        if poly.constant_term():
+            continue
+        for mono in candidates:
+            if mono.is_unit():
+                continue
+            for ell in range(1, max_ell + 1):
+                scaled = Polynomial.from_monomial(mono, ell)
+                if not semiring.poly_leq(scaled, poly):
+                    continue
+                required = ell if k == float("inf") else min(ell, int(k))
+                if poly.coefficient(mono) < required:
+                    return AxiomViolation(
+                        f"N{'∞' if k == float('inf') else int(k)}bi",
+                        scaled, poly,
+                        f"≼ holds but coeff({mono!r}) = "
+                        f"{poly.coefficient(mono)} < {required}")
+    return None
+
+
+def probe_polynomials(rng: random.Random, count: int = 40,
+                      variables: tuple[str, ...] = ("x1", "x2"),
+                      max_terms: int = 3,
+                      max_degree: int = 2,
+                      max_coeff: int = 3) -> list[Polynomial]:
+    """Random small polynomials without constant terms."""
+    probes = [
+        # the pairs behind the paper's running examples:
+        Polynomial.parse_terms([(1, ("x1", "x1")), (1, ("x2", "x2"))]),
+        Polynomial.parse_terms([(2, ("x1",))]),
+        Polynomial.parse_terms([(1, ("x1",)), (1, ("x2",))]),
+        Polynomial.parse_terms([(1, ("x1", "x2"))]),
+    ]
+    for _ in range(count):
+        terms = []
+        for _ in range(rng.randint(1, max_terms)):
+            degree = rng.randint(1, max_degree)
+            word = tuple(rng.choice(variables) for _ in range(degree))
+            terms.append((Monomial.from_variables(word),
+                          rng.randint(1, max_coeff)))
+        probes.append(Polynomial(terms))
+    return probes
+
+
+def admissible_probe_polynomials(rng: random.Random,
+                                 count: int = 30) -> list[Polynomial]:
+    """CQ-admissible probes: evaluations of random CQs over canonical
+    instances (admissible by Def. 4.7)."""
+    from ..semirings.provenance import NX
+
+    probes = [
+        # Ex. 4.6's canonical polynomials:
+        Polynomial.parse_terms([(1, ("z1", "z1")), (1, ("z2", "z2"))]),
+        Polynomial.parse_terms(
+            [(1, ("z1", "z1")), (2, ("z1", "z2")), (1, ("z2", "z2"))]),
+    ]
+    while len(probes) < count:
+        shape = random_cq(rng, max_atoms=2, max_vars=2)
+        query = random_cq(rng, max_atoms=2, max_vars=2)
+        tagged = canonical_instance(shape)
+        poly = evaluate(query, tagged.instance, (), NX)
+        if not poly.is_zero():
+            probes.append(poly)
+    return probes

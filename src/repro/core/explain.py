@@ -1,0 +1,114 @@
+"""Certificate checking and enriched containment explanations.
+
+The dispatcher's verdicts carry certificates (homomorphism mappings).
+This module makes them *independently checkable* — a reviewer need not
+trust the search — and combines syntactic refutations with semantic
+witnesses from the oracle into a single explanation object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..homomorphisms.search import HomKind
+from ..oracle.brute_force import Counterexample, find_counterexample
+from ..queries.atoms import is_var
+from ..queries.cq import CQ
+from .containment import decide_cq_containment, decide_ucq_containment
+from .verdict import Verdict
+
+__all__ = ["check_homomorphism_certificate", "Explanation", "explain"]
+
+
+def check_homomorphism_certificate(source: CQ, target: CQ, mapping: dict,
+                                   kind: HomKind = HomKind.PLAIN) -> bool:
+    """Verify that ``mapping`` is a homomorphism of the given kind.
+
+    Checks (1) totality on the source variables, (2) positional head
+    preservation, (3) every atom image occurring in the target, and
+    (4) the multiset condition of ``kind`` — without running any search.
+    """
+    for var in _all_variables(source):
+        if var not in mapping:
+            return False
+    for var, image in zip(source.head, target.head):
+        if mapping.get(var, var) != image:
+            return False
+    target_counts: dict[Any, int] = {}
+    for atom in target.atoms:
+        target_counts[atom] = target_counts.get(atom, 0) + 1
+    image_counts: dict[Any, int] = {}
+    for atom in source.atoms:
+        image = atom.substitute(mapping)
+        if image not in target_counts:
+            return False
+        image_counts[image] = image_counts.get(image, 0) + 1
+    if kind in (HomKind.INJECTIVE, HomKind.BIJECTIVE):
+        if any(count > target_counts[atom]
+               for atom, count in image_counts.items()):
+            return False
+    if kind in (HomKind.SURJECTIVE, HomKind.BIJECTIVE):
+        if any(image_counts.get(atom, 0) < count
+               for atom, count in target_counts.items()):
+            return False
+    return True
+
+
+def _all_variables(query: CQ):
+    return {v for atom in query.atoms for v in atom.variables()}
+
+
+_METHOD_KINDS = {
+    "homomorphism": HomKind.PLAIN,
+    "injective-homomorphism": HomKind.INJECTIVE,
+    "surjective-homomorphism": HomKind.SURJECTIVE,
+    "bijective-homomorphism": HomKind.BIJECTIVE,
+}
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A verdict plus independently checkable evidence.
+
+    ``certificate_valid`` — for positive homomorphism verdicts, the
+    result of re-checking the certificate (None when not applicable).
+    ``witness``           — for refutations, a semantic counterexample
+    from the oracle (None when containment holds or no witness found
+    within budget).
+    """
+
+    verdict: Verdict
+    certificate_valid: bool | None
+    witness: Counterexample | None
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        if self.verdict.result is True:
+            check = {True: "certificate checked", False: "CERTIFICATE BAD",
+                     None: "no checkable certificate"}[self.certificate_valid]
+            return f"contained [{self.verdict.method}; {check}]"
+        if self.verdict.result is False:
+            where = ("witness found" if self.witness is not None
+                     else "no witness within budget")
+            return f"not contained [{self.verdict.method}; {where}]"
+        return f"undecided [{self.verdict.explanation}]"
+
+
+def explain(q1, q2, semiring, witness_budget: int = 1500) -> Explanation:
+    """Decide ``Q1 ⊆K Q2`` and attach checkable evidence."""
+    if isinstance(q1, CQ) and isinstance(q2, CQ):
+        verdict = decide_cq_containment(q1, q2, semiring)
+    else:
+        verdict = decide_ucq_containment(q1, q2, semiring)
+    certificate_valid = None
+    if (verdict.result is True and verdict.certificate is not None
+            and verdict.method in _METHOD_KINDS
+            and isinstance(q1, CQ) and isinstance(q2, CQ)):
+        certificate_valid = check_homomorphism_certificate(
+            q2, q1, verdict.certificate, _METHOD_KINDS[verdict.method])
+    witness = None
+    if verdict.result is False:
+        witness = find_counterexample(q1, q2, semiring,
+                                      budget=witness_budget)
+    return Explanation(verdict, certificate_valid, witness)

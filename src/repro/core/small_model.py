@@ -1,0 +1,67 @@
+"""The small-model containment procedure (Thm. 4.17, Prop. 4.19).
+
+For ⊕-idempotent semirings ``K``, CQ containment reduces to finitely
+many comparisons of CQ-admissible polynomials:
+
+    ``Q1 ⊆K Q2``  iff  ``Q1^⟦Q⟧(t) ≼K Q2^⟦Q⟧(t)``
+    for every CCQ ``Q ∈ ⟨Q1⟩`` and every tuple ``t`` of variables of
+    ``Q``
+
+where ``⟦Q⟧`` is the canonical ``N[X]``-instance of the CCQ.  Whenever
+the polynomial order ``≼K`` is decidable (tropical semirings: LP,
+Prop. 4.19; finite or lattice semirings: exhaustive valuation) this
+decides containment — covering exactly the semirings (``T+``, ``T−``,
+Viterbi-style) that have *no* homomorphism characterization.
+
+We also apply the procedure to UCQs: for ⊕-idempotent ``K``, a sum is
+below a value iff each summand is (positivity + idempotence), so
+``Q1 ⊆K Q2`` reduces to the same canonical-instance tests ranging over
+the CCQs of ``⟨Q1⟩``.  This extension is validated against the
+brute-force oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from ..data.canonical import canonical_instance
+from ..queries.ccq import CQWithInequalities, complete_description
+from ..queries.cq import CQ
+from ..queries.evaluation import evaluate
+from ..queries.ucq import UCQ, as_ucq
+
+__all__ = ["small_model_contained", "small_model_tests"]
+
+
+def small_model_tests(q1) -> Iterator[tuple[CQWithInequalities, tuple]]:
+    """The canonical test points of Thm. 4.17: each CCQ of ``⟨Q1⟩``
+    paired with each head tuple over its variables."""
+    q1 = as_ucq(q1)
+    for member in q1:
+        for ccq in complete_description(member):
+            domain = tuple(ccq.variables()) + ccq.constants()
+            for target in product(domain, repeat=ccq.arity):
+                yield ccq, target
+
+
+def small_model_contained(q1, q2, semiring) -> bool:
+    """Decide ``Q1 ⊆K Q2`` via canonical-instance polynomial comparison.
+
+    Requires ``semiring`` to be ⊕-idempotent and to implement
+    ``poly_leq`` (Thm. 4.17 / Cor. 4.18).
+    """
+    from ..semirings.provenance import NX
+
+    if not semiring.properties.add_idempotent:
+        raise ValueError(
+            f"the small-model procedure needs an ⊕-idempotent semiring; "
+            f"{semiring.name} is not (Thm. 4.17 applies to S¹ only)")
+    q1, q2 = as_ucq(q1), as_ucq(q2)
+    for ccq, target in small_model_tests(q1):
+        tagged = canonical_instance(ccq)
+        left = evaluate(q1, tagged.instance, target, NX)
+        right = evaluate(q2, tagged.instance, target, NX)
+        if not semiring.poly_leq(left, right):
+            return False
+    return True

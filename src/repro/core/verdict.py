@@ -1,0 +1,62 @@
+"""Containment verdicts.
+
+Every decision entry point returns a :class:`Verdict` rather than a bare
+boolean, because the paper's theory is not total: for semirings such as
+bag semantics ``N`` the containment problem is open (CQs) or undecidable
+(UCQs), and the best the library can honestly report is the value of the
+known necessary and sufficient conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Verdict", "Undecided"]
+
+
+class Undecided(RuntimeError):
+    """Raised by :meth:`Verdict.unwrap` when no decision was reached."""
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of a containment check ``Q1 ⊆K Q2``.
+
+    ``result``      — True / False when decided, None when the theory
+    only provides bounds for the semiring at hand.
+    ``method``      — the procedure that produced the decision (e.g.
+    ``"homomorphism"``, ``"small-model"``, ``"bi-count-k"``).
+    ``certificate`` — evidence: a homomorphism mapping, a violated
+    necessary condition name, a canonical-instance witness, ...
+    ``sufficient``  — for undecided verdicts, the value of the strongest
+    applicable *sufficient* condition (False means "cannot conclude").
+    ``necessary``   — likewise for the strongest *necessary* condition
+    (True means "cannot refute").
+    ``explanation`` — human-readable summary.
+    """
+
+    result: bool | None
+    method: str
+    certificate: Any = None
+    sufficient: bool | None = None
+    necessary: bool | None = None
+    explanation: str = ""
+
+    @property
+    def decided(self) -> bool:
+        """True when the verdict carries a definite answer."""
+        return self.result is not None
+
+    def unwrap(self) -> bool:
+        """The boolean answer; raises :class:`Undecided` if there is
+        none."""
+        if self.result is None:
+            raise Undecided(
+                f"containment undecided ({self.method}): {self.explanation}")
+        return self.result
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "Verdict cannot be used as a bare boolean; inspect .result or "
+            "call .unwrap()")

@@ -1,0 +1,8 @@
+"""K-instances and canonical instances."""
+
+from .canonical import CanonicalInstance, canonical_instance
+from .examples import movie_provenance_db, personnel_db, travel_costs_db
+from .instance import Instance
+
+__all__ = ["CanonicalInstance", "Instance", "canonical_instance",
+           "movie_provenance_db", "personnel_db", "travel_costs_db"]

@@ -1,0 +1,74 @@
+"""Canonical instances ``⟦Q⟧`` (Sec. 4.6, after Green et al.).
+
+The canonical instance of a CQ (or CCQ) ``Q`` is an ``N[X]``-instance
+over ``Q``'s own variables-as-constants: every atom occurrence is tagged
+with a unique fresh polynomial variable, and a tuple named by several
+occurrences is annotated with the *sum* of their tags (see Ex. 4.6
+continued: ``R^⟦Q12⟧(u, v) = x1 + x2``).
+
+Evaluating any CQ on ``⟦Q⟧`` produces a CQ-admissible polynomial
+(Def. 4.7); the small-model procedure (Thm. 4.17) and the brute-force
+oracle both work on these instances, because the paper's completeness
+arguments show counterexamples to containment always live there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..polynomials.polynomial import Polynomial
+from ..queries.atoms import Atom, is_var
+from ..queries.cq import CQ
+from .instance import Instance
+
+__all__ = ["CanonicalInstance", "canonical_instance"]
+
+
+@dataclass(frozen=True)
+class CanonicalInstance:
+    """The canonical ``N[X]``-instance of a query, with its tagging.
+
+    ``instance``   — the ``N[X]``-instance (domain = query variables and
+    constants).
+    ``tag_names``  — the fresh polynomial variables, one per atom
+    occurrence, in sorted-atom order.
+    ``tags``       — map from each distinct ground atom to the tuple of
+    tag names of its occurrences.
+    """
+
+    instance: Instance
+    tag_names: tuple[str, ...]
+    tags: dict
+
+    def domain(self) -> frozenset:
+        """The active domain (the query's variables and constants)."""
+        return self.instance.active_domain()
+
+
+def canonical_instance(query: CQ, prefix: str = "z") -> CanonicalInstance:
+    """Build ``⟦Q⟧`` for a CQ or CCQ.
+
+    Fresh variables are named ``{prefix}1, {prefix}2, …`` in the order of
+    the query's canonical (sorted) atom tuple, so the construction is
+    deterministic.  Inequalities of a CCQ do not change ``⟦Q⟧`` itself —
+    they constrain the *valuations* used when evaluating over it.
+    """
+    from ..semirings.provenance import NX
+
+    tag_names: list[str] = []
+    tags: dict[Atom, tuple[str, ...]] = {}
+    relations: dict[str, dict[tuple, Polynomial]] = {}
+    for position, atom in enumerate(query.atoms, start=1):
+        tag = f"{prefix}{position}"
+        tag_names.append(tag)
+        tags.setdefault(atom, ())
+        tags[atom] = tags[atom] + (tag,)
+        row = tuple(atom.terms)  # Vars act as domain constants here.
+        table = relations.setdefault(atom.relation, {})
+        annotation = table.get(row, Polynomial.zero())
+        table[row] = annotation.add(Polynomial.variable(tag))
+    return CanonicalInstance(
+        instance=Instance(NX, relations),
+        tag_names=tuple(tag_names),
+        tags=tags,
+    )

@@ -1,0 +1,71 @@
+"""Showcase datasets used by the runnable examples and the docs.
+
+Small but realistic K-instances: a curated movie database annotated
+with provenance, a travel network annotated with tropical costs, and an
+access-controlled personnel directory.
+"""
+
+from __future__ import annotations
+
+from ..semirings.access import ACCESS
+from ..semirings.provenance import NX
+from ..semirings.tropical import TPLUS
+from .instance import Instance
+
+__all__ = ["movie_provenance_db", "travel_costs_db", "personnel_db"]
+
+
+def movie_provenance_db() -> Instance:
+    """A film database over ``N[X]``: every base fact carries its own
+    provenance token, so query answers are provenance polynomials."""
+    var = NX.var
+    return Instance(NX, {
+        "Directed": {
+            ("kurosawa", "ran"): var("d1"),
+            ("kurosawa", "ikiru"): var("d2"),
+            ("kubrick", "paths_of_glory"): var("d3"),
+        },
+        "ActsIn": {
+            ("nakadai", "ran"): var("a1"),
+            ("shimura", "ikiru"): var("a2"),
+            ("douglas", "paths_of_glory"): var("a3"),
+            ("nakadai", "ikiru"): var("a4"),
+        },
+        "Genre": {
+            ("ran", "war"): var("g1"),
+            ("ikiru", "drama"): var("g2"),
+            ("paths_of_glory", "war"): var("g3"),
+        },
+    })
+
+
+def travel_costs_db() -> Instance:
+    """A flight network over ``T+``: annotations are ticket costs; query
+    evaluation computes cheapest itineraries."""
+    return Instance(TPLUS, {
+        "Flight": {
+            ("edinburgh", "london"): 60,
+            ("london", "paris"): 80,
+            ("edinburgh", "paris"): 190,
+            ("paris", "scottsdale"): 540,
+            ("london", "scottsdale"): 610,
+        },
+    })
+
+
+def personnel_db() -> Instance:
+    """A personnel directory over the clearance semiring: joining
+    restricted tables yields answers at the stricter clearance."""
+    level = ACCESS.level
+    return Instance(ACCESS, {
+        "Employee": {
+            ("ada", "engineering"): level("public"),
+            ("grace", "research"): level("confidential"),
+            ("alan", "cryptanalysis"): level("secret"),
+        },
+        "Project": {
+            ("engineering", "bridge"): level("public"),
+            ("research", "reactor"): level("secret"),
+            ("cryptanalysis", "enigma"): level("top-secret"),
+        },
+    })

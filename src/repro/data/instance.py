@@ -1,0 +1,139 @@
+"""K-instances: annotated databases with finite support (Sec. 2).
+
+A K-instance assigns to every relation symbol a *K-relation*: a total
+map from tuples to semiring elements whose support (non-zero tuples) is
+finite.  We store only the support.  Tuples range over an open domain of
+hashable Python values; query variables (:class:`Var` objects) may
+themselves serve as domain constants, which is how canonical instances
+are built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An immutable annotated database over a semiring.
+
+    Construct via ``Instance(semiring, {"R": {(1, 2): annotation}})`` or
+    incrementally with :meth:`with_fact`.  Annotations equal to the
+    semiring zero are dropped; arities must be consistent per relation.
+    """
+
+    __slots__ = ("semiring", "_relations", "_arities")
+
+    def __init__(self, semiring,
+                 relations: Mapping[str, Mapping[tuple, Any]] | None = None):
+        object.__setattr__(self, "semiring", semiring)
+        cleaned: dict[str, dict[tuple, Any]] = {}
+        arities: dict[str, int] = {}
+        for relation, tuples in (relations or {}).items():
+            for row, annotation in tuples.items():
+                row = tuple(row)
+                known = arities.setdefault(relation, len(row))
+                if known != len(row):
+                    raise ValueError(
+                        f"inconsistent arity for relation {relation}")
+                annotation = semiring.normalize(annotation)
+                if semiring.is_zero(annotation):
+                    continue
+                cleaned.setdefault(relation, {})[row] = annotation
+        object.__setattr__(self, "_relations", cleaned)
+        object.__setattr__(self, "_arities", arities)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Instance is immutable")
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_facts(cls, semiring,
+                   facts: Iterable[tuple[str, tuple, Any]]) -> "Instance":
+        """Build from ``(relation, row, annotation)`` triples; repeated
+        rows accumulate with ``⊕``."""
+        relations: dict[str, dict[tuple, Any]] = {}
+        for relation, row, annotation in facts:
+            row = tuple(row)
+            table = relations.setdefault(relation, {})
+            if row in table:
+                table[row] = semiring.add(table[row], annotation)
+            else:
+                table[row] = annotation
+        return cls(semiring, relations)
+
+    def with_fact(self, relation: str, row: tuple, annotation: Any) -> "Instance":
+        """A new instance with one more fact (``⊕``-accumulating)."""
+        relations = {name: dict(table)
+                     for name, table in self._relations.items()}
+        table = relations.setdefault(relation, {})
+        row = tuple(row)
+        if row in table:
+            table[row] = self.semiring.add(table[row], annotation)
+        else:
+            table[row] = annotation
+        return Instance(self.semiring, relations)
+
+    # -- access ----------------------------------------------------------
+
+    def annotation(self, relation: str, row: tuple) -> Any:
+        """The annotation of ``row`` in ``relation`` (zero if absent)."""
+        table = self._relations.get(relation)
+        if table is None:
+            return self.semiring.zero
+        return table.get(tuple(row), self.semiring.zero)
+
+    def support(self, relation: str) -> Iterator[tuple[tuple, Any]]:
+        """Iterate ``(row, annotation)`` over the support of a relation."""
+        return iter(self._relations.get(relation, {}).items())
+
+    def relations(self) -> tuple[str, ...]:
+        """Relation names with non-empty support, sorted."""
+        return tuple(sorted(self._relations))
+
+    def arity(self, relation: str) -> int | None:
+        """Arity of ``relation`` (None when never seen)."""
+        return self._arities.get(relation)
+
+    def active_domain(self) -> frozenset:
+        """All values occurring in any supported tuple."""
+        return frozenset(
+            value
+            for table in self._relations.values()
+            for row in table
+            for value in row
+        )
+
+    def fact_count(self) -> int:
+        """Total size of the support."""
+        return sum(len(table) for table in self._relations.values())
+
+    def map_annotations(self, target_semiring, transform) -> "Instance":
+        """A new instance over ``target_semiring`` with every annotation
+        passed through ``transform`` — e.g. applying the universal
+        morphism ``Evalν`` to a canonical ``N[X]``-instance."""
+        return Instance(target_semiring, {
+            relation: {row: transform(annotation)
+                       for row, annotation in table.items()}
+            for relation, table in self._relations.items()
+        })
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Instance)
+                and self.semiring is other.semiring
+                and self._relations == other._relations)
+
+    def __repr__(self) -> str:
+        parts = []
+        for relation in self.relations():
+            rows = ", ".join(
+                f"{row}↦{annotation!r}"
+                for row, annotation in sorted(
+                    self._relations[relation].items(), key=lambda kv: repr(kv[0]))
+            )
+            parts.append(f"{relation}: {{{rows}}}")
+        return f"Instance[{self.semiring}]({'; '.join(parts)})"

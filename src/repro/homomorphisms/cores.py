@@ -1,0 +1,58 @@
+"""Cores of conjunctive queries.
+
+The *core* of a CQ is its smallest retract: the image of an
+endomorphism that cannot be shrunk further.  Under set semantics
+(``Chom``) a CQ is equivalent to its core, and two CQs are equivalent
+iff their cores are isomorphic — the classical Chandra–Merlin
+minimization that the paper generalizes away from: over ``Cbi``
+semirings the core construction is *unsound* (folding loses
+multiplicities), which `repro.optimize.minimize_cq` handles by checking
+``K``-equivalence per deletion instead.
+
+This module provides the classical object itself, used to cross-check
+the optimizer under ``B`` and to exhibit the contrast.
+"""
+
+from __future__ import annotations
+
+from ..queries.cq import CQ
+from .search import HomKind, homomorphisms
+
+__all__ = ["core_of", "is_core", "retracts"]
+
+
+def retracts(query: CQ):
+    """Proper retracts of ``query``: subqueries induced by endomorphism
+    images with strictly fewer distinct atoms."""
+    seen: set[CQ] = set()
+    atom_set = set(query.atoms)
+    for mapping in homomorphisms(query, query, HomKind.PLAIN):
+        image = {atom.substitute(mapping) for atom in query.atoms}
+        if len(image) < len(atom_set):
+            candidate = CQ(query.head, tuple(sorted(image)))
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def core_of(query: CQ) -> CQ:
+    """The core: repeatedly retract until no proper retract exists.
+
+    The result is unique up to isomorphism (a classical fact); with the
+    deterministic enumeration order the returned representative is
+    reproducible.  Duplicate atoms never survive (a set-semantics core
+    is a set of atoms).
+    """
+    current = CQ(query.head, tuple(sorted(set(query.atoms))))
+    while True:
+        candidate = next(iter(retracts(current)), None)
+        if candidate is None:
+            return current
+        current = candidate
+
+
+def is_core(query: CQ) -> bool:
+    """True iff the query has no proper retract (and no duplicates)."""
+    if len(set(query.atoms)) != len(query.atoms):
+        return False
+    return next(iter(retracts(query)), None) is None

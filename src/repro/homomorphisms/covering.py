@@ -1,0 +1,41 @@
+"""Homomorphic covering ``Q2 ⇉ Q1`` (Sec. 4.1).
+
+``Q2`` homomorphically covers ``Q1`` iff for every atom of ``Q1`` there
+is a homomorphism from ``Q2`` to ``Q1`` whose image contains that atom.
+This is the characterizing condition of the class ``Chcov``
+(⊗-idempotent semirings with the ``Nhcov`` necessity axiom; the lineage
+semiring is the flagship member, Thm. 4.3).  Checking it is
+NP-complete.
+"""
+
+from __future__ import annotations
+
+from ..queries.cq import CQ
+from .search import HomKind, homomorphisms
+
+__all__ = ["covers", "covered_atoms"]
+
+
+def covered_atoms(source: CQ, target: CQ) -> frozenset:
+    """The atoms of ``target`` that occur in the image of some
+    homomorphism from ``source``."""
+    remaining = set(target.atoms)
+    covered = set()
+    for mapping in homomorphisms(source, target, HomKind.PLAIN):
+        image = {atom.substitute(mapping) for atom in source.atoms}
+        newly = remaining & image
+        covered |= newly
+        remaining -= newly
+        if not remaining:
+            break
+    return frozenset(covered)
+
+
+def covers(source: CQ, target: CQ) -> bool:
+    """Decide ``source ⇉ target`` (homomorphic covering).
+
+    Coverage is judged per distinct atom *value*: an atom occurring
+    twice in ``target`` is covered as soon as its value appears in some
+    homomorphic image (images cannot distinguish occurrences).
+    """
+    return len(covered_atoms(source, target)) == len(set(target.atoms))

@@ -1,0 +1,163 @@
+"""Isomorphism, canonical forms and automorphisms of (C)CQs (Sec. 5.2).
+
+Two CCQs are isomorphic when they coincide up to a renaming of their
+existential variables (heads are fixed).  The UCQ conditions ``→֒k`` and
+``→֒∞`` count CCQs per isomorphism class (``⟨Q⟩[Q≃]`` in the paper), so
+we compute a *canonical key* — the lexicographically least serialization
+over all existential-variable bijections — and group by it.
+
+The paper's key structural fact, "all endomorphisms of CCQs are
+automorphisms", makes the automorphism group the only degree of freedom
+a complete CCQ has; its size enters the reconstruction of the ``→֒k``
+condition for finite ``k`` (see :mod:`repro.homomorphisms.ucq_conditions`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+
+from ..queries.atoms import Var, is_var
+from ..queries.ccq import CQWithInequalities
+from ..queries.cq import CQ
+
+__all__ = [
+    "canonical_key",
+    "are_isomorphic",
+    "automorphism_count",
+    "isomorphism_classes",
+]
+
+
+def _serialize(query: CQ, mapping: dict) -> tuple:
+    """A hashable normal form of ``query`` under an existential-variable
+    renaming; free variables serialize positionally."""
+    head_positions = {var: f"u{pos}" for pos, var in enumerate(query.head)}
+
+    def term_key(term):
+        if is_var(term):
+            if term in mapping:
+                return ("e", mapping[term])
+            return ("u", head_positions[term])
+        return ("c", repr(term))
+
+    atoms = tuple(sorted(
+        (atom.relation, tuple(term_key(term) for term in atom.terms))
+        for atom in query.atoms
+    ))
+    inequalities = tuple(sorted(
+        tuple(sorted(term_key(var) for var in pair))
+        for pair in getattr(query, "inequalities", frozenset())
+    ))
+    return (atoms, inequalities)
+
+
+@lru_cache(maxsize=4096)
+def canonical_key(query: CQ) -> tuple:
+    """Canonical form: minimal serialization over all renamings.
+
+    Exponential in the number of existential variables, which complete
+    descriptions keep small; results are cached (queries are immutable).
+    """
+    existential = query.existential_vars()
+    labels = tuple(range(len(existential)))
+    best = None
+    for ordering in permutations(labels):
+        mapping = {var: f"e{label}"
+                   for var, label in zip(existential, ordering)}
+        candidate = _serialize(query, mapping)
+        if best is None or candidate < best:
+            best = candidate
+    if best is None:  # no existential variables
+        best = _serialize(query, {})
+    return (type(query).__name__, query.arity, best)
+
+
+def are_isomorphic(first: CQ, second: CQ) -> bool:
+    """True iff the queries coincide up to existential renaming."""
+    return canonical_key(first) == canonical_key(second)
+
+
+@lru_cache(maxsize=4096)
+def automorphism_count(query: CQ) -> int:
+    """Size of the automorphism group (existential renamings fixing the
+    query; inequalities are preserved by any bijection on a complete
+    CCQ, and are checked explicitly otherwise)."""
+    existential = query.existential_vars()
+    identity = _serialize(query, {var: f"e{i}"
+                                  for i, var in enumerate(existential)})
+    count = 0
+    for ordering in permutations(range(len(existential))):
+        mapping = {var: f"e{label}"
+                   for var, label in zip(existential, ordering)}
+        if _serialize(query, mapping) == identity:
+            count += 1
+    return count
+
+
+def isomorphism_classes(queries) -> dict[tuple, list]:
+    """Group a multiset of queries by isomorphism class.
+
+    Returns canonical key → list of members (multiplicities preserved).
+    """
+    classes: dict[tuple, list] = {}
+    for query in queries:
+        classes.setdefault(canonical_key(query), []).append(query)
+    return classes
+
+
+def canonical_rename(query: CQ) -> CQ:
+    """Rename existential variables to the canonical labeling.
+
+    Applies the permutation that realizes :func:`canonical_key`, naming
+    existential variables ``e0, e1, …`` — so two isomorphic queries
+    become *equal* (heads unchanged).  Used by the normalizer to give
+    equivalent queries identical normal forms.
+    """
+    existential = query.existential_vars()
+    best = None
+    best_mapping: dict = {}
+    for ordering in permutations(range(len(existential))):
+        mapping = {var: f"e{label}"
+                   for var, label in zip(existential, ordering)}
+        candidate = _serialize(query, mapping)
+        if best is None or candidate < best:
+            best = candidate
+            best_mapping = mapping
+    return query.substitute(
+        {var: Var(label) for var, label in best_mapping.items()})
+
+
+def endomorphisms(query: CQ):
+    """All homomorphisms from a query to itself.
+
+    For *complete* CCQs the paper's key structural lemma (Sec. 5.2)
+    states that every endomorphism is an automorphism: the pairwise
+    inequalities forbid collapsing existential variables, so a CCQ
+    cannot be "folded" into itself.  The test suite verifies the lemma
+    on random complete descriptions through this function.
+    """
+    from .search import HomKind, homomorphisms
+
+    return list(homomorphisms(query, query, HomKind.PLAIN))
+
+
+def is_automorphism(query: CQ, mapping: dict) -> bool:
+    """True iff ``mapping`` permutes the variables and fixes the query
+    (atom multiset and inequalities)."""
+    variables = set()
+    for atom in query.atoms:
+        variables.update(atom.variables())
+    images = {mapping.get(var, var) for var in variables}
+    if images != variables:
+        return False
+    image_atoms = tuple(sorted(
+        atom.substitute(mapping) for atom in query.atoms))
+    if image_atoms != query.atoms:
+        return False
+    source_pairs = getattr(query, "inequalities", frozenset())
+    image_pairs = {
+        frozenset((mapping.get(x, x), mapping.get(y, y)))
+        for pair in source_pairs for x, y in (tuple(pair),)
+    }
+    return image_pairs == set(source_pairs)

@@ -1,0 +1,183 @@
+"""Homomorphism search between conjunctive queries (Sec. 3.3–4.4).
+
+A homomorphism (containment mapping) from ``Q2 = ∃v2 φ2(u2, v2)`` to
+``Q1 = ∃v1 φ1(u1, v1)`` maps the variables of ``Q2`` to terms of ``Q1``
+such that the head is preserved positionally and every atom of ``φ2``
+lands in ``φ1``.  The paper classifies semirings by four refinements,
+all acting on the *multiset* image ``h(φ2)`` (each occurrence of a
+``Q2``-atom contributes one image occurrence):
+
+* ``PLAIN``      — ``Q2 → Q1``:  every image atom occurs in ``φ1``.
+* ``INJECTIVE``  — ``Q2 →֒ Q1``: ``h(φ2) ⊆ φ1`` as multisets.
+* ``SURJECTIVE`` — ``Q2 ։ Q1``:  ``φ1 ⊆ h(φ2)`` as multisets.
+* ``BIJECTIVE``  — ``Q2 →֒→ Q1``: ``h(φ2) = φ1`` as multisets.
+
+Between CCQs, homomorphisms must additionally *preserve inequalities*:
+for each constrained pair ``x ≠ y`` of the source, every valuation of
+the target must be guaranteed to separate ``h(x)`` and ``h(y)`` — which
+holds exactly when the images are existential target variables joined by
+a target inequality, or two distinct constants.
+
+Deciding existence is NP-complete for each kind (Cor. 3.4, 4.4, 4.9,
+4.15); the search is a backtracking join over the target's atom
+occurrences with multiset-count pruning.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Iterator
+
+from ..queries.atoms import Atom, Var, is_var
+from ..queries.ccq import CQWithInequalities
+from ..queries.cq import CQ
+
+__all__ = [
+    "HomKind",
+    "homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+]
+
+
+class HomKind(Enum):
+    """The four homomorphism refinements of the paper."""
+
+    PLAIN = "plain"
+    INJECTIVE = "injective"
+    SURJECTIVE = "surjective"
+    BIJECTIVE = "bijective"
+
+
+def _target_inequality_ok(source: CQ, target: CQ, mapping: dict) -> bool:
+    """Check inequality preservation for the fully built ``mapping``."""
+    source_pairs = getattr(source, "inequalities", frozenset())
+    if not source_pairs:
+        return True
+    target_pairs = getattr(target, "inequalities", frozenset())
+    target_existential = set(
+        target.existential_vars()) if isinstance(target, CQ) else set()
+    for pair in source_pairs:
+        x, y = tuple(pair)
+        image_x = mapping.get(x, x)
+        image_y = mapping.get(y, y)
+        if image_x == image_y:
+            return False
+        both_vars = is_var(image_x) and is_var(image_y)
+        if both_vars:
+            if (image_x in target_existential
+                    and image_y in target_existential
+                    and frozenset((image_x, image_y)) in target_pairs):
+                continue
+            return False
+        if not is_var(image_x) and not is_var(image_y):
+            continue  # two distinct constants are always separated
+        return False
+    return True
+
+
+def _compatible(atom: Atom, candidate: Atom, mapping: dict) -> dict | None:
+    """Try to extend ``mapping`` so that ``atom`` maps onto ``candidate``.
+
+    Returns the (possibly extended) mapping, or None on clash.  The
+    returned dict is the same object when nothing new was bound.
+    """
+    if atom.relation != candidate.relation or atom.arity != candidate.arity:
+        return None
+    extension: dict | None = None
+    for term, image in zip(atom.terms, candidate.terms):
+        if is_var(term):
+            current = mapping.get(term)
+            if extension is not None and term in extension:
+                current = extension[term]
+            if current is None:
+                if extension is None:
+                    extension = {}
+                extension[term] = image
+            elif current != image:
+                return None
+        elif term != image:
+            return None
+    if extension is None:
+        return mapping
+    merged = dict(mapping)
+    merged.update(extension)
+    return merged
+
+
+def homomorphisms(source: CQ, target: CQ,
+                  kind: HomKind = HomKind.PLAIN) -> Iterator[dict]:
+    """Enumerate the homomorphisms of the given kind from ``source`` to
+    ``target`` (deduplicated on the variable mapping).
+
+    Queries must have equal arity; the head is matched positionally
+    (``h(u2) = u1``).
+    """
+    if source.arity != target.arity:
+        return
+    mapping: dict[Var, Any] = {}
+    for var, image in zip(source.head, target.head):
+        if mapping.setdefault(var, image) != image:
+            return
+    if kind is HomKind.BIJECTIVE and len(source.atoms) != len(target.atoms):
+        return
+    if kind is HomKind.SURJECTIVE and len(source.atoms) < len(target.atoms):
+        return
+    target_counts: dict[Atom, int] = {}
+    for atom in target.atoms:
+        target_counts[atom] = target_counts.get(atom, 0) + 1
+    distinct_targets = tuple(target_counts)
+    seen: set = set()
+    for result in _search(source.atoms, 0, mapping, distinct_targets,
+                          target_counts, {}, kind):
+        key = frozenset(result.items())
+        if key in seen:
+            continue
+        seen.add(key)
+        if _target_inequality_ok(source, target, result):
+            yield result
+
+
+def _search(atoms: tuple[Atom, ...], index: int, mapping: dict,
+            candidates: tuple[Atom, ...], target_counts: dict,
+            image_counts: dict, kind: HomKind) -> Iterator[dict]:
+    if index == len(atoms):
+        if kind in (HomKind.SURJECTIVE, HomKind.BIJECTIVE):
+            covered = all(
+                image_counts.get(atom, 0) >= count
+                for atom, count in target_counts.items()
+            )
+            if not covered:
+                return
+        yield dict(mapping)
+        return
+    atom = atoms[index]
+    for candidate in candidates:
+        extended = _compatible(atom, candidate, mapping)
+        if extended is None:
+            continue
+        used = image_counts.get(candidate, 0) + 1
+        if kind in (HomKind.INJECTIVE, HomKind.BIJECTIVE):
+            if used > target_counts[candidate]:
+                continue
+        image_counts[candidate] = used
+        yield from _search(atoms, index + 1, extended, candidates,
+                           target_counts, image_counts, kind)
+        if used == 1:
+            del image_counts[candidate]
+        else:
+            image_counts[candidate] = used - 1
+
+
+def find_homomorphism(source: CQ, target: CQ,
+                      kind: HomKind = HomKind.PLAIN) -> dict | None:
+    """The first homomorphism of the given kind, or None."""
+    for mapping in homomorphisms(source, target, kind):
+        return mapping
+    return None
+
+
+def has_homomorphism(source: CQ, target: CQ,
+                     kind: HomKind = HomKind.PLAIN) -> bool:
+    """Existence check: ``Q2 → Q1`` / ``→֒`` / ``։`` / ``→֒→``."""
+    return find_homomorphism(source, target, kind) is not None

@@ -1,0 +1,11 @@
+"""Semiring-aware query optimization (the paper's motivating use case)."""
+
+from .minimize import MinimizationResult, minimize_cq
+from .normalize import normalize_cq, normalize_ucq
+from .redundancy import RedundancyResult, eliminate_redundant_members
+
+__all__ = [
+    "MinimizationResult", "RedundancyResult",
+    "eliminate_redundant_members", "minimize_cq",
+    "normalize_cq", "normalize_ucq",
+]

@@ -1,0 +1,5 @@
+"""Brute-force semantic oracle for validating decision procedures."""
+
+from .brute_force import Counterexample, find_counterexample, refutes
+
+__all__ = ["Counterexample", "find_counterexample", "refutes"]

@@ -1,0 +1,15 @@
+"""Provenance polynomials, CQ-admissibility and tropical orders."""
+
+from .admissible import (distinct_orderings, is_cq_admissible, realize,
+                         representations, zigzag_closed)
+from .polynomial import (Monomial, Polynomial, polynomial_product,
+                         polynomial_sum)
+from .tropical_order import (grid_violation, max_plus_poly_leq,
+                             min_plus_poly_leq)
+
+__all__ = [
+    "Monomial", "Polynomial", "distinct_orderings", "grid_violation",
+    "is_cq_admissible", "max_plus_poly_leq", "min_plus_poly_leq",
+    "polynomial_product", "polynomial_sum", "realize", "representations",
+    "zigzag_closed",
+]

@@ -1,0 +1,217 @@
+"""CQ-admissible polynomials ``Ncq[X]`` (Def. 4.7, Prop. 4.16).
+
+A polynomial is *CQ-admissible* when it equals ``Q^I(t)`` for some CQ
+``Q`` and some ``N[X]``-instance ``I`` whose tuples carry unique
+variables (an "abstractly tagged" instance).  The classes ``Nin``,
+``Nsur`` and ``Cbi`` are all axiomatized through these polynomials.
+
+Prop. 4.16 characterizes ``Ncq[X]`` constructively: ``P`` is admissible
+iff it has a representation as a *set* of pairwise-distinct o-monomials
+(ordered monomials — words over ``X``) of one common degree whose
+commutative collapse is ``P``, and which is *closed* under the zig-zag
+condition: whenever a word ``M`` is, for every position pair ``i < j``,
+connected to the representation by an alternating chain matching
+``M[i]`` and ``M[j]``, then ``M`` itself belongs to the representation.
+
+The chains for a fixed pair ``(i, j)`` are exactly the alternating walks
+of a bipartite graph between position-``i`` values and position-``j``
+values with one edge per word, so the zig-zag relation is bipartite
+*connectivity* — which is how :func:`zigzag_closed` computes it.
+
+Consequences implemented in the tests: every polynomial produced by
+evaluating a CQ over a canonical instance passes the predicate, while
+``2x``, ``x² + y`` and ``x² + xy + y²`` fail (the paper's examples).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations, product
+from typing import Iterable, Iterator
+
+from .polynomial import Monomial, Polynomial
+
+__all__ = [
+    "distinct_orderings",
+    "zigzag_closed",
+    "representations",
+    "is_cq_admissible",
+]
+
+
+def distinct_orderings(mono: Monomial) -> tuple[tuple[str, ...], ...]:
+    """All distinct words (o-monomials) collapsing to ``mono``."""
+    word = mono.as_word()
+    return tuple(sorted(set(permutations(word))))
+
+
+def _pair_components(words: Iterable[tuple[str, ...]], i: int,
+                     j: int) -> dict:
+    """Union-find components of the bipartite value graph for positions
+    ``(i, j)``: left nodes ``("i", x)``, right nodes ``("j", y)``, one
+    edge per word."""
+    parent: dict = {}
+
+    def find(node):
+        root = node
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(node, node) != node:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for word in words:
+        union(("i", word[i]), ("j", word[j]))
+    return {node: find(node) for node in list(parent)} | {
+        node: find(node) for node in set(parent.values())
+    }
+
+
+def zigzag_closed(words: frozenset) -> bool:
+    """Check condition 2 of Prop. 4.16 for a set of same-length words.
+
+    For every candidate word ``M`` over the occurring variables: if for
+    each pair ``i < j`` the values ``M[i]`` and ``M[j]`` lie in the same
+    component of the pair's bipartite value graph (i.e. an alternating
+    chain links them), then ``M`` must already be in ``words``.
+    """
+    words = frozenset(words)
+    if not words:
+        return True
+    degree = len(next(iter(words)))
+    if degree <= 1:
+        return True
+    components = {
+        (i, j): _pair_components(words, i, j)
+        for i, j in combinations(range(degree), 2)
+    }
+    position_values = [
+        sorted({word[i] for word in words}) for i in range(degree)
+    ]
+    for candidate in product(*position_values):
+        if candidate in words:
+            continue
+        forced = True
+        for (i, j), comp in components.items():
+            left = comp.get(("i", candidate[i]))
+            right = comp.get(("j", candidate[j]))
+            if left is None or right is None or left != right:
+                forced = False
+                break
+        if forced:
+            return False
+    return True
+
+
+def representations(poly: Polynomial) -> Iterator[frozenset]:
+    """Enumerate candidate o-monomial representations of ``poly``.
+
+    Each representation picks, for every monomial with coefficient
+    ``c``, a ``c``-subset of its distinct orderings (condition 1 of
+    Prop. 4.16).  Polynomials that are non-homogeneous or have a
+    coefficient exceeding the number of distinct orderings admit none.
+    """
+    if poly.is_zero():
+        yield frozenset()
+        return
+    if not poly.is_homogeneous():
+        return
+    if poly.constant_term():
+        return  # degree-0 monomials cannot come from a (≥1 atom) CQ
+    choices: list[tuple[frozenset, ...]] = []
+    for mono, coeff in poly.items():
+        orderings = distinct_orderings(mono)
+        if coeff > len(orderings):
+            return
+        choices.append(tuple(
+            frozenset(subset) for subset in combinations(orderings, coeff)
+        ))
+    for selection in product(*choices):
+        yield frozenset().union(*selection)
+
+
+def is_cq_admissible(poly: Polynomial) -> bool:
+    """Decide membership in ``Ncq[X]`` via Prop. 4.16."""
+    return any(
+        zigzag_closed(words) for words in representations(poly)
+    )
+
+
+def realize(poly: Polynomial, max_shape_atoms: int = 2,
+            max_query_atoms: int = 3, max_vars: int = 2):
+    """Search for a witness of Def. 4.7: a CQ, tagged instance and tuple
+    with ``Q^I(t) = P`` (up to renaming of the tag variables).
+
+    This is the constructive converse of :func:`is_cq_admissible`,
+    realized by bounded enumeration: instances are canonical instances
+    of small "shape" CQs (each tuple tagged with a unique variable, as
+    the definition demands) and queries are small CQs over the same
+    schema.  Returns ``(query, canonical_instance, variable_renaming)``
+    or None when no witness exists within the bounds — sound for
+    confirmation, bounded for refutation (non-admissible polynomials
+    such as ``x² + xy + y²`` stay unrealized at any bound, by
+    Prop. 4.16).
+    """
+    from itertools import product as _product
+
+    from ..data.canonical import canonical_instance
+    from ..queries.atoms import Atom, Var
+    from ..queries.cq import CQ
+    from ..queries.evaluation import evaluate
+    from ..semirings.provenance import NX
+
+    def _small_cqs(max_atoms: int):
+        variables = [Var(f"w{i}") for i in range(max_vars)]
+        relations = [("R", 2), ("S", 1)]
+        atom_pool = [
+            Atom(name, terms)
+            for name, arity in relations
+            for terms in _product(variables, repeat=arity)
+        ]
+        for count in range(1, max_atoms + 1):
+            for atoms in _product(atom_pool, repeat=count):
+                yield CQ((), atoms)
+
+    target_profile = sorted(
+        (coeff, tuple(sorted(mono.as_word())))
+        for mono, coeff in poly.items()
+    )
+    for shape in _small_cqs(max_shape_atoms):
+        tagged = canonical_instance(shape)
+        if len(tagged.tag_names) < len(poly.variables()):
+            continue
+        for query in _small_cqs(max_query_atoms):
+            result = evaluate(query, tagged.instance, (), NX)
+            profile = sorted(
+                (coeff, tuple(sorted(mono.as_word())))
+                for mono, coeff in result.items()
+            )
+            if len(profile) != len(target_profile):
+                continue
+            renaming = _match_up_to_renaming(result, poly)
+            if renaming is not None:
+                return query, tagged, renaming
+    return None
+
+
+def _match_up_to_renaming(produced: Polynomial,
+                          target: Polynomial) -> dict | None:
+    """A variable bijection carrying ``produced`` onto ``target``."""
+    produced_vars = sorted(produced.variables())
+    target_vars = sorted(target.variables())
+    if len(produced_vars) != len(target_vars):
+        return None
+    for ordering in permutations(target_vars):
+        renaming = dict(zip(produced_vars, ordering))
+        renamed = Polynomial(
+            (Monomial(tuple(
+                (renaming[var], exp) for var, exp in mono.powers)), coeff)
+            for mono, coeff in produced.items()
+        )
+        if renamed == target:
+            return renaming
+    return None

@@ -1,0 +1,380 @@
+"""Provenance polynomials ``N[X]`` — the universal annotation domain.
+
+The semiring of *provenance polynomials* ``N[X] = (N[X], +, ×, 0, 1)``
+(Green–Karvounarakis–Tannen, PODS 2007) consists of multivariate
+polynomials over a variable set ``X`` with natural-number coefficients.
+Prop. 3.2 of the paper shows ``N[X]`` is universal for all positive
+semirings: any valuation ``ν : X → K`` extends uniquely to a semiring
+morphism ``Evalν : N[X] → K`` (implemented by :meth:`Polynomial.eval_in`).
+
+This module implements the raw polynomial arithmetic.  The semiring
+wrappers (``N[X]``, ``B[X]``, the coefficient-capped ``N_k[X]``, the
+absorptive ``Sorp[X]`` and the exponent-dropping ``Trio[X]``) live in
+:mod:`repro.semirings`.
+
+Variables are strings.  :class:`Monomial` and :class:`Polynomial` are
+immutable and hashable, so they can serve directly as annotation values.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = ["Monomial", "Polynomial"]
+
+
+class Monomial:
+    """A commutative monomial ``x1^e1 · ... · xn^en`` with ``ei ≥ 1``.
+
+    Stored as a sorted tuple of ``(variable, exponent)`` pairs.  The empty
+    monomial is the multiplicative unit ``1``.
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        if isinstance(powers, Mapping):
+            items = powers.items()
+        else:
+            items = powers
+        merged: dict[str, int] = {}
+        for var, exp in items:
+            if exp < 0:
+                raise ValueError(f"negative exponent for {var!r}")
+            if exp:
+                merged[var] = merged.get(var, 0) + exp
+        self._powers: tuple[tuple[str, int], ...] = tuple(sorted(merged.items()))
+        self._hash = hash(self._powers)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def unit(cls) -> "Monomial":
+        """The empty monomial ``1``."""
+        return _UNIT_MONOMIAL
+
+    @classmethod
+    def variable(cls, var: str) -> "Monomial":
+        """The monomial consisting of a single variable."""
+        return cls(((var, 1),))
+
+    @classmethod
+    def from_variables(cls, variables: Iterable[str]) -> "Monomial":
+        """Product of ``variables`` (repetitions accumulate exponents)."""
+        powers: dict[str, int] = {}
+        for var in variables:
+            powers[var] = powers.get(var, 0) + 1
+        return cls(powers)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def powers(self) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(variable, exponent)`` pairs."""
+        return self._powers
+
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(exp for _, exp in self._powers)
+
+    def exponent(self, var: str) -> int:
+        """Exponent of ``var`` (0 when absent)."""
+        for name, exp in self._powers:
+            if name == var:
+                return exp
+        return 0
+
+    def variables(self) -> frozenset[str]:
+        """The set of variables occurring in the monomial."""
+        return frozenset(var for var, _ in self._powers)
+
+    def is_unit(self) -> bool:
+        """True iff this is the empty monomial ``1``."""
+        return not self._powers
+
+    def is_squarefree(self) -> bool:
+        """True iff every exponent is 1 (a *set* of variables)."""
+        return all(exp == 1 for _, exp in self._powers)
+
+    def support_monomial(self) -> "Monomial":
+        """Drop exponents: the square-free monomial on the same variables.
+
+        This is the ``Trio[X]`` projection (witness bags forget powers).
+        """
+        return Monomial(((var, 1) for var, _ in self._powers))
+
+    def as_word(self) -> tuple[str, ...]:
+        """The sorted word of variables with multiplicity.
+
+        ``x^2·y`` becomes ``('x', 'x', 'y')``; used by the o-monomial
+        machinery of Prop. 4.16.
+        """
+        word: list[str] = []
+        for var, exp in self._powers:
+            word.extend([var] * exp)
+        return tuple(word)
+
+    # -- algebra --------------------------------------------------------
+
+    def mul(self, other: "Monomial") -> "Monomial":
+        """Product of two monomials (exponents add)."""
+        powers = dict(self._powers)
+        for var, exp in other._powers:
+            powers[var] = powers.get(var, 0) + exp
+        return Monomial(powers)
+
+    def divides(self, other: "Monomial") -> bool:
+        """True iff ``self`` divides ``other`` exponent-wise."""
+        other_powers = dict(other._powers)
+        return all(exp <= other_powers.get(var, 0) for var, exp in self._powers)
+
+    def strictly_divides(self, other: "Monomial") -> bool:
+        """True iff ``self`` divides ``other`` and they differ."""
+        return self != other and self.divides(other)
+
+    def eval_in(self, semiring, valuation: Mapping[str, Any]) -> Any:
+        """Image under ``Evalν`` restricted to a single monomial."""
+        return semiring.prod(
+            semiring.power(valuation[var], exp) for var, exp in self._powers
+        )
+
+    # -- dunder ---------------------------------------------------------
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        return self.mul(other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Monomial") -> bool:
+        return self._powers < other._powers
+
+    def __repr__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = [
+            var if exp == 1 else f"{var}^{exp}" for var, exp in self._powers
+        ]
+        return "·".join(parts)
+
+
+_UNIT_MONOMIAL = Monomial()
+
+
+class Polynomial:
+    """A polynomial with natural-number coefficients over string variables.
+
+    Stored as a mapping from :class:`Monomial` to positive ``int``.  The
+    zero polynomial has no monomials.  Instances are immutable; arithmetic
+    returns fresh objects.
+    """
+
+    __slots__ = ("_coeffs", "_hash")
+
+    def __init__(self, coeffs: Mapping[Monomial, int] | Iterable[tuple[Monomial, int]] = ()):
+        if isinstance(coeffs, Mapping):
+            items = coeffs.items()
+        else:
+            items = coeffs
+        merged: dict[Monomial, int] = {}
+        for mono, coeff in items:
+            if coeff < 0:
+                raise ValueError("natural-number coefficients only")
+            if coeff:
+                merged[mono] = merged.get(mono, 0) + coeff
+        self._coeffs: tuple[tuple[Monomial, int], ...] = tuple(
+            sorted(merged.items(), key=lambda item: item[0].powers)
+        )
+        self._hash = hash(self._coeffs)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return _ZERO_POLY
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The unit polynomial ``1``."""
+        return _ONE_POLY
+
+    @classmethod
+    def variable(cls, var: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``var``."""
+        return cls(((Monomial.variable(var), 1),))
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls(((Monomial.unit(), value),)) if value else cls.zero()
+
+    @classmethod
+    def from_monomial(cls, mono: Monomial, coeff: int = 1) -> "Polynomial":
+        """The polynomial ``coeff · mono``."""
+        return cls(((mono, coeff),))
+
+    @classmethod
+    def parse_terms(cls, terms: Iterable[tuple[int, Iterable[str]]]) -> "Polynomial":
+        """Build from ``(coefficient, variable-word)`` pairs.
+
+        ``parse_terms([(1, 'xx'), (2, 'xy')])`` is ``x² + 2xy`` when the
+        variables are single characters; any iterable of variable names
+        works, e.g. ``(3, ['u', 'u', 'v'])``.
+        """
+        return cls(
+            (Monomial.from_variables(tuple(word)), coeff) for coeff, word in terms
+        )
+
+    # -- structure ------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Monomial, int]]:
+        """Iterate ``(monomial, coefficient)`` pairs (coefficients > 0)."""
+        return iter(self._coeffs)
+
+    def monomials(self) -> tuple[Monomial, ...]:
+        """The monomials with non-zero coefficient."""
+        return tuple(mono for mono, _ in self._coeffs)
+
+    def coefficient(self, mono: Monomial) -> int:
+        """Coefficient of ``mono`` (0 when absent)."""
+        for candidate, coeff in self._coeffs:
+            if candidate == mono:
+                return coeff
+        return 0
+
+    def constant_term(self) -> int:
+        """Coefficient of the unit monomial."""
+        return self.coefficient(Monomial.unit())
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self._coeffs
+
+    def degree(self) -> int:
+        """Maximum monomial degree (0 for the zero polynomial)."""
+        return max((mono.degree() for mono, _ in self._coeffs), default=0)
+
+    def is_homogeneous(self) -> bool:
+        """True iff all monomials share the same degree (or zero)."""
+        degrees = {mono.degree() for mono, _ in self._coeffs}
+        return len(degrees) <= 1
+
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the polynomial."""
+        return frozenset().union(
+            *(mono.variables() for mono, _ in self._coeffs)
+        ) if self._coeffs else frozenset()
+
+    def term_count(self) -> int:
+        """Number of distinct monomials."""
+        return len(self._coeffs)
+
+    def total_multiplicity(self) -> int:
+        """Sum of all coefficients (number of monomials with repetition)."""
+        return sum(coeff for _, coeff in self._coeffs)
+
+    # -- algebra --------------------------------------------------------
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        """Polynomial sum."""
+        coeffs = dict(self._coeffs)
+        for mono, coeff in other._coeffs:
+            coeffs[mono] = coeffs.get(mono, 0) + coeff
+        return Polynomial(coeffs)
+
+    def mul(self, other: "Polynomial") -> "Polynomial":
+        """Polynomial product."""
+        coeffs: dict[Monomial, int] = {}
+        for mono_a, coeff_a in self._coeffs:
+            for mono_b, coeff_b in other._coeffs:
+                product = mono_a.mul(mono_b)
+                coeffs[product] = coeffs.get(product, 0) + coeff_a * coeff_b
+        return Polynomial(coeffs)
+
+    def scale(self, factor: int) -> "Polynomial":
+        """Multiply every coefficient by a natural number."""
+        if factor < 0:
+            raise ValueError("natural-number coefficients only")
+        if factor == 0:
+            return Polynomial.zero()
+        return Polynomial((mono, coeff * factor) for mono, coeff in self._coeffs)
+
+    def power(self, exponent: int) -> "Polynomial":
+        """``self`` raised to a natural power (``P^0 = 1``)."""
+        if exponent < 0:
+            raise ValueError("negative exponent")
+        result = Polynomial.one()
+        for _ in range(exponent):
+            result = result.mul(self)
+        return result
+
+    def natural_leq(self, other: "Polynomial") -> bool:
+        """The natural order of ``N[X]``: coefficient-wise ``≤``.
+
+        ``P ≼ Q`` iff ``P + R = Q`` for some ``R``, which for ``N[X]``
+        amounts to every coefficient of ``P`` being at most the matching
+        coefficient of ``Q``.
+        """
+        other_coeffs = dict(other._coeffs)
+        return all(
+            coeff <= other_coeffs.get(mono, 0) for mono, coeff in self._coeffs
+        )
+
+    def eval_in(self, semiring, valuation: Mapping[str, Any]) -> Any:
+        """Apply the universal morphism ``Evalν : N[X] → K`` (Prop. 3.2).
+
+        ``valuation`` maps every variable of the polynomial to an element
+        of ``semiring``; coefficients map through ``n ↦ n·1``.
+        """
+        return semiring.sum(
+            semiring.mul(
+                semiring.from_int(coeff), mono.eval_in(semiring, valuation)
+            )
+            for mono, coeff in self._coeffs
+        )
+
+    # -- dunder ---------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        return self.add(other)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        return self.mul(other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._coeffs:
+            return "0"
+        parts = []
+        for mono, coeff in self._coeffs:
+            if mono.is_unit():
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(repr(mono))
+            else:
+                parts.append(f"{coeff}{mono!r}")
+        return " + ".join(parts)
+
+
+_ZERO_POLY = Polynomial()
+_ONE_POLY = Polynomial(((Monomial.unit(), 1),))
+
+
+def polynomial_sum(polys: Iterable[Polynomial]) -> Polynomial:
+    """Sum an iterable of polynomials (empty sum is 0)."""
+    return reduce(Polynomial.add, polys, Polynomial.zero())
+
+
+def polynomial_product(polys: Iterable[Polynomial]) -> Polynomial:
+    """Multiply an iterable of polynomials (empty product is 1)."""
+    return reduce(Polynomial.mul, polys, Polynomial.one())

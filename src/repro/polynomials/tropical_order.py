@@ -1,0 +1,151 @@
+"""Deciding the polynomial order for tropical semirings (Prop. 4.19).
+
+Under ``T+`` a monomial with exponent vector ``e`` evaluates to the
+linear form ``ℓ(a) = Σ e_i·a_i`` (coefficients ``≥ 1`` are absorbed by
+``min``), and a polynomial to the *minimum* of its forms; under ``T−``
+to the *maximum*.  The orders to decide are
+
+* ``P1 ≼T+ P2``  iff ``Eval(P2)(a) ≤ Eval(P1)(a)`` for all ``a`` over
+  ``N0 ∪ {∞}``  (the natural order of min-plus is reversed numeric), and
+* ``P1 ≼T− P2``  iff ``Eval(P1)(a) ≤ Eval(P2)(a)`` for all ``a`` over
+  ``N0 ∪ {−∞}``.
+
+Both reduce to pointwise dominance between min- (resp. max-) of
+homogeneous linear forms.  Infinite coordinates are handled by a subset
+split (a variable at ``±∞`` simply deletes the monomials using it);
+finite dominance is decided *exactly* by linear programming: the forms
+are homogeneous, so a real violating point scales to an integer one and
+strict gaps can be normalized to ``≥ 1``.  The paper only proves a
+PSPACE bound for these orders — any sound and complete procedure
+reproduces Prop. 4.19; LP gives a polynomial-time one for the fixed
+query sizes of interest.
+
+A bounded grid checker (:func:`grid_violation`) cross-validates the LP
+decisions in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .polynomial import Polynomial
+
+__all__ = [
+    "min_plus_poly_leq",
+    "max_plus_poly_leq",
+    "grid_violation",
+]
+
+
+def _forms(poly: Polynomial, variables: Sequence[str],
+           excluded: frozenset) -> list[np.ndarray]:
+    """Exponent vectors of the monomials avoiding ``excluded``."""
+    index = {var: position for position, var in enumerate(variables)}
+    forms = []
+    for mono, _coeff in poly.items():
+        if mono.variables() & excluded:
+            continue
+        vector = np.zeros(len(variables))
+        for var, exp in mono.powers:
+            vector[index[var]] = exp
+        forms.append(vector)
+    return forms
+
+
+def _feasible(constraints: list[np.ndarray], bounds: list[float]) -> bool:
+    """Is there ``a ≥ 0`` with ``constraint · a ≤ bound`` for all rows?"""
+    if not constraints:
+        return True
+    matrix = np.vstack(constraints)
+    result = linprog(
+        c=np.zeros(matrix.shape[1]),
+        A_ub=matrix,
+        b_ub=np.asarray(bounds),
+        bounds=[(0, None)] * matrix.shape[1],
+        method="highs",
+    )
+    return result.status == 0
+
+
+def _min_plus_dominates(low_forms: list[np.ndarray],
+                        high_forms: list[np.ndarray]) -> bool:
+    """Check ``min(low) ≤ min(high)`` pointwise over ``a ≥ 0``.
+
+    A violation needs a point where every ``low`` form strictly exceeds
+    the minimum of ``high``; we guess the argmin ``h*`` of ``high`` and
+    solve the LP  ``h* ≤ h`` (∀h ∈ high), ``h* + 1 ≤ l`` (∀l ∈ low).
+    """
+    for pivot in high_forms:
+        constraints = [pivot - other for other in high_forms]
+        bounds = [0.0] * len(high_forms)
+        constraints.extend(pivot - low for low in low_forms)
+        bounds.extend([-1.0] * len(low_forms))
+        if _feasible(constraints, bounds):
+            return False
+    return True
+
+
+def min_plus_poly_leq(p1: Polynomial, p2: Polynomial) -> bool:
+    """Decide ``P1 ≼T+ P2``: min-plus ``P2`` dominates ``P1`` from below
+    on every valuation over ``N0 ∪ {∞}``."""
+    variables = tuple(sorted(p1.variables() | p2.variables()))
+    for infinite in _subsets(variables):
+        forms1 = _forms(p1, variables, infinite)
+        forms2 = _forms(p2, variables, infinite)
+        if not forms1:
+            continue  # P1 evaluates to ∞ here: anything is below it
+        if not forms2:
+            return False  # P2 = ∞ must not exceed a finite P1
+        if not _min_plus_dominates(forms2, forms1):
+            return False
+    return True
+
+
+def max_plus_poly_leq(p1: Polynomial, p2: Polynomial) -> bool:
+    """Decide ``P1 ≼T− P2``: max-plus ``P2`` dominates ``P1`` from above
+    on every valuation over ``N0 ∪ {−∞}``."""
+    variables = tuple(sorted(p1.variables() | p2.variables()))
+    for infinite in _subsets(variables):
+        forms1 = _forms(p1, variables, infinite)
+        forms2 = _forms(p2, variables, infinite)
+        if not forms1:
+            continue  # P1 evaluates to −∞ here: below anything
+        if not forms2:
+            return False  # P2 = −∞ cannot dominate a finite P1
+        # Violation: some form of P1 strictly exceeds every form of P2.
+        for pivot in forms1:
+            constraints = [form - pivot for form in forms2]
+            bounds = [-1.0] * len(forms2)
+            if _feasible(constraints, bounds):
+                return False
+    return True
+
+
+def _subsets(variables: Sequence[str]) -> Iterable[frozenset]:
+    for pattern in product((False, True), repeat=len(variables)):
+        yield frozenset(
+            var for var, chosen in zip(variables, pattern) if chosen
+        )
+
+
+def grid_violation(p1: Polynomial, p2: Polynomial, semiring,
+                   bound: int = 4) -> dict | None:
+    """Search a valuation grid for a witness of ``P1 ⋠K P2``.
+
+    Tries all valuations with values in ``{0, …, bound} ∪ {0K}``.  Used
+    to cross-validate the LP decisions (sound refutation; completeness
+    only on the grid).
+    """
+    variables = tuple(sorted(p1.variables() | p2.variables()))
+    values = tuple(range(bound + 1)) + (semiring.zero,)
+    for assignment in product(values, repeat=len(variables)):
+        valuation = dict(zip(variables, assignment))
+        left = p1.eval_in(semiring, valuation)
+        right = p2.eval_in(semiring, valuation)
+        if not semiring.leq(left, right):
+            return valuation
+    return None

@@ -1,0 +1,18 @@
+"""Conjunctive queries, unions, complete descriptions and evaluation."""
+
+from .atoms import Atom, Var, is_var
+from .ccq import (CQWithInequalities, complete_description,
+                  complete_description_ucq, set_partitions)
+from .cq import CQ
+from .evaluation import evaluate, evaluate_all, valuations
+from .parser import ParseError, parse_cq, parse_ucq
+from .serialize import query_from_dict, query_to_dict
+from .ucq import UCQ, as_ucq
+
+__all__ = [
+    "Atom", "CQ", "CQWithInequalities", "ParseError", "UCQ", "Var",
+    "as_ucq", "complete_description", "complete_description_ucq",
+    "evaluate", "evaluate_all", "is_var", "parse_cq", "parse_ucq",
+    "query_from_dict", "query_to_dict",
+    "set_partitions", "valuations",
+]

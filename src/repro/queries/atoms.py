@@ -1,0 +1,116 @@
+"""Terms and relational atoms.
+
+A *term* is either a :class:`Var` (query variable) or a constant — any
+other hashable Python value (strings, ints, ...).  An :class:`Atom` is a
+relation name applied to a tuple of terms.  Both are immutable and
+totally ordered so that multisets of atoms can be canonicalized by
+sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["Var", "Atom", "is_var", "term_sort_key", "variables_of_terms"]
+
+
+class Var:
+    """A query variable, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __lt__(self, other: "Var") -> bool:
+        return self.name < other.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def is_var(term: Any) -> bool:
+    """True iff ``term`` is a query variable."""
+    return isinstance(term, Var)
+
+
+def term_sort_key(term: Any) -> tuple:
+    """A total-order key over mixed variables and constants."""
+    if is_var(term):
+        return (0, term.name)
+    return (1, str(type(term).__name__), repr(term))
+
+
+def variables_of_terms(terms: Iterable[Any]) -> tuple[Var, ...]:
+    """The distinct variables among ``terms``, in first-occurrence order."""
+    seen: dict[Var, None] = {}
+    for term in terms:
+        if is_var(term) and term not in seen:
+            seen[term] = None
+    return tuple(seen)
+
+
+class Atom:
+    """A relational atom ``R(t1, …, tm)`` over variables and constants."""
+
+    __slots__ = ("relation", "terms", "_hash")
+
+    def __init__(self, relation: str, terms: Iterable[Any]):
+        if not relation:
+            raise ValueError("relation name must be non-empty")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        object.__setattr__(self, "_hash", hash((relation, self.terms)))
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Atom is immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    def variables(self) -> tuple[Var, ...]:
+        """Distinct variables of the atom, in first-occurrence order."""
+        return variables_of_terms(self.terms)
+
+    def substitute(self, mapping) -> "Atom":
+        """Apply a variable substitution (variables absent from
+        ``mapping`` are kept)."""
+        return Atom(
+            self.relation,
+            tuple(
+                mapping.get(term, term) if is_var(term) else term
+                for term in self.terms
+            ),
+        )
+
+    def sort_key(self) -> tuple:
+        """Total-order key for canonicalizing atom multisets."""
+        return (self.relation, len(self.terms),
+                tuple(term_sort_key(term) for term in self.terms))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Atom) and self.relation == other.relation
+                and self.terms == other.terms)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Atom") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(term) for term in self.terms)
+        return f"{self.relation}({args})"

@@ -1,0 +1,73 @@
+"""Random query generators for tests and benchmarks.
+
+The generators produce small CQs/UCQs with tunable shape (relations,
+arities, atom count, free variables), biased toward the structures that
+stress the containment procedures: shared variables, duplicate atoms
+(multiset bodies!), self-joins, and head repetitions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .atoms import Atom, Var
+from .cq import CQ
+from .ucq import UCQ
+
+__all__ = ["random_cq", "random_ucq", "random_query_pair"]
+
+DEFAULT_SCHEMA = (("R", 2), ("S", 1))
+
+
+def random_cq(rng: random.Random,
+              schema: Sequence[tuple[str, int]] = DEFAULT_SCHEMA,
+              max_atoms: int = 3,
+              max_vars: int = 3,
+              head_arity: int = 0,
+              duplicate_bias: float = 0.25) -> CQ:
+    """A random CQ over ``schema``.
+
+    ``duplicate_bias`` is the probability of repeating an existing atom
+    verbatim (exercising multiset semantics).  Head variables are drawn
+    from the body variables after the body is generated, so the CQ
+    validity invariant (free ⊆ body) holds by construction.
+    """
+    variables = [Var(f"v{i}") for i in range(max_vars)]
+    atom_count = rng.randint(1, max_atoms)
+    atoms: list[Atom] = []
+    for _ in range(atom_count):
+        if atoms and rng.random() < duplicate_bias:
+            atoms.append(rng.choice(atoms))
+            continue
+        relation, arity = rng.choice(tuple(schema))
+        atoms.append(Atom(relation,
+                          tuple(rng.choice(variables) for _ in range(arity))))
+    body_vars = sorted({v for atom in atoms for v in atom.variables()})
+    head = tuple(rng.choice(body_vars) for _ in range(head_arity))
+    return CQ(head, atoms)
+
+
+def random_ucq(rng: random.Random,
+               schema: Sequence[tuple[str, int]] = DEFAULT_SCHEMA,
+               max_members: int = 3,
+               max_atoms: int = 2,
+               max_vars: int = 3,
+               head_arity: int = 0) -> UCQ:
+    """A random UCQ with 1..max_members random CQs."""
+    members = rng.randint(1, max_members)
+    return UCQ(tuple(
+        random_cq(rng, schema, max_atoms, max_vars, head_arity)
+        for _ in range(members)
+    ))
+
+
+def random_query_pair(rng: random.Random, ucq: bool = False,
+                      head_arity: int = 0, **kwargs):
+    """A pair of random queries of the same shape, suitable as a
+    containment problem instance."""
+    if ucq:
+        return (random_ucq(rng, head_arity=head_arity, **kwargs),
+                random_ucq(rng, head_arity=head_arity, **kwargs))
+    return (random_cq(rng, head_arity=head_arity, **kwargs),
+            random_cq(rng, head_arity=head_arity, **kwargs))

@@ -1,0 +1,162 @@
+"""A small Datalog-style query parser.
+
+Grammar (whitespace-insensitive)::
+
+    query  ::= head ":-" literal ("," literal)*
+    head   ::= NAME "(" terms? ")"
+    literal::= atom | ineq
+    atom   ::= NAME "(" terms ")"
+    ineq   ::= term "!=" term
+    term   ::= NAME        (variable)
+             | NUMBER      (integer constant)
+             | "'" ... "'" (string constant)
+
+Examples::
+
+    parse_cq("Q(x) :- R(x, y), S(y, 'berlin')")
+    parse_cq("Q() :- R(u, v), R(u, w), u != v")
+    parse_ucq(["Q(x) :- R(x, x)", "Q(x) :- S(x)"])
+
+Inequalities promote the result to
+:class:`~repro.queries.ccq.CQWithInequalities`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .atoms import Atom, Var
+from .ccq import CQWithInequalities
+from .cq import CQ
+from .ucq import UCQ
+
+__all__ = ["parse_cq", "parse_ucq", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<number>-?\d+)"
+    r"|(?P<string>'[^']*')"
+    r"|(?P<punct>:-|!=|[(),]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if not match:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize at: {remainder[:25]!r}")
+        position = match.end()
+        for kind in ("name", "number", "string", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str]], text: str):
+        self.tokens = tokens
+        self.index = 0
+        self.text = text
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def pop(self, expected: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of query: {self.text!r}")
+        if expected is not None and token[1] != expected:
+            raise ParseError(
+                f"expected {expected!r}, got {token[1]!r} in {self.text!r}")
+        self.index += 1
+        return token
+
+
+def _parse_term(cursor: _Cursor):
+    kind, value = cursor.pop()
+    if kind == "name":
+        return Var(value)
+    if kind == "number":
+        return int(value)
+    if kind == "string":
+        return value[1:-1]
+    raise ParseError(f"expected a term, got {value!r}")
+
+
+def _parse_term_list(cursor: _Cursor) -> list:
+    cursor.pop("(")
+    terms: list = []
+    if cursor.peek() == ("punct", ")"):
+        cursor.pop(")")
+        return terms
+    terms.append(_parse_term(cursor))
+    while cursor.peek() == ("punct", ","):
+        cursor.pop(",")
+        terms.append(_parse_term(cursor))
+    cursor.pop(")")
+    return terms
+
+
+def parse_cq(text: str) -> CQ:
+    """Parse a single CQ (with optional ``!=`` constraints)."""
+    cursor = _Cursor(_tokenize(text), text)
+    kind, _head_name = cursor.pop()
+    if kind != "name":
+        raise ParseError(f"query must start with a head name: {text!r}")
+    head_terms = _parse_term_list(cursor)
+    for term in head_terms:
+        if not isinstance(term, Var):
+            raise ParseError(f"head terms must be variables: {term!r}")
+    cursor.pop(":-")
+    atoms: list[Atom] = []
+    inequalities: list[tuple] = []
+    while True:
+        token = cursor.peek()
+        if token is None:
+            break
+        kind, value = token
+        if kind != "name" and kind != "number" and kind != "string":
+            raise ParseError(f"expected a literal, got {value!r}")
+        if kind == "name" and cursor.index + 1 < len(cursor.tokens) \
+                and cursor.tokens[cursor.index + 1] == ("punct", "("):
+            cursor.pop()
+            terms = _parse_term_list(cursor)
+            atoms.append(Atom(value, terms))
+        else:
+            left = _parse_term(cursor)
+            cursor.pop("!=")
+            right = _parse_term(cursor)
+            if not isinstance(left, Var) or not isinstance(right, Var):
+                raise ParseError("inequalities must relate variables")
+            inequalities.append((left, right))
+        if cursor.peek() == ("punct", ","):
+            cursor.pop(",")
+        else:
+            break
+    if cursor.peek() is not None:
+        raise ParseError(f"trailing tokens in {text!r}")
+    if not atoms:
+        raise ParseError(f"query body has no atoms: {text!r}")
+    if inequalities:
+        return CQWithInequalities(head_terms, atoms, inequalities)
+    return CQ(head_terms, atoms)
+
+
+def parse_ucq(texts: Iterable[str]) -> UCQ:
+    """Parse a UCQ from one query string per member."""
+    return UCQ(tuple(parse_cq(text) for text in texts))

@@ -1,0 +1,88 @@
+"""JSON-able serialization of queries.
+
+Workloads, regression corpora and cross-tool exchanges need queries on
+disk.  The format distinguishes variables from constants explicitly
+(``{"var": "x"}`` vs ``{"const": 3}``), keeps atom multiplicity, and
+round-trips CQs, CQs-with-inequalities and UCQs losslessly::
+
+    data = query_to_dict(query)
+    json.dumps(data)                      # plain lists/dicts/strings
+    query == query_from_dict(data)        # True
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .atoms import Atom, Var, is_var
+from .ccq import CQWithInequalities
+from .cq import CQ
+from .ucq import UCQ
+
+__all__ = ["query_to_dict", "query_from_dict"]
+
+
+def _term_to_dict(term) -> dict:
+    if is_var(term):
+        return {"var": term.name}
+    return {"const": term}
+
+
+def _term_from_dict(data: dict):
+    if "var" in data:
+        return Var(data["var"])
+    if "const" in data:
+        return data["const"]
+    raise ValueError(f"not a term: {data!r}")
+
+
+def query_to_dict(query) -> dict[str, Any]:
+    """Serialize a CQ, CCQ or UCQ to plain JSON-able data."""
+    if isinstance(query, UCQ):
+        return {
+            "kind": "ucq",
+            "members": [query_to_dict(member) for member in query],
+        }
+    if isinstance(query, CQ):
+        data: dict[str, Any] = {
+            "kind": "cq",
+            "head": [_term_to_dict(var) for var in query.head],
+            "atoms": [
+                {
+                    "relation": atom.relation,
+                    "terms": [_term_to_dict(term) for term in atom.terms],
+                }
+                for atom in query.atoms
+            ],
+        }
+        inequalities = getattr(query, "inequalities", None)
+        if inequalities:
+            data["kind"] = "ccq"
+            data["inequalities"] = sorted(
+                sorted(var.name for var in pair) for pair in inequalities
+            )
+        return data
+    raise TypeError(f"cannot serialize {type(query).__name__}")
+
+
+def query_from_dict(data: dict) -> CQ | UCQ:
+    """Inverse of :func:`query_to_dict`."""
+    kind = data.get("kind")
+    if kind == "ucq":
+        return UCQ(tuple(query_from_dict(member)
+                         for member in data["members"]))
+    if kind in ("cq", "ccq"):
+        head = tuple(_term_from_dict(term) for term in data["head"])
+        atoms = tuple(
+            Atom(entry["relation"],
+                 tuple(_term_from_dict(term) for term in entry["terms"]))
+            for entry in data["atoms"]
+        )
+        if kind == "ccq" or data.get("inequalities"):
+            pairs = [
+                (Var(first), Var(second))
+                for first, second in data.get("inequalities", ())
+            ]
+            return CQWithInequalities(head, atoms, pairs)
+        return CQ(head, atoms)
+    raise ValueError(f"unknown query kind: {kind!r}")

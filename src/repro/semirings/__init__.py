@@ -1,0 +1,46 @@
+"""Annotation semirings (Sec. 2-3 of the paper).
+
+Exports the semiring interface, every built-in annotation domain and the
+axiom auditor.
+"""
+
+from .absorptive import SORP, AbsorptivePolynomialSemiring
+from .access import ACCESS, LEVELS, AccessControlSemiring
+from .base import (INFINITE_OFFSET, Semiring, SemiringProperties,
+                   check_positive_order_samples)
+from .boolean import B, BooleanSemiring
+from .fuzzy import FUZZY, FuzzySemiring
+from .lineage import BOTTOM, LIN, LineageSemiring
+from .lukasiewicz import LUKASIEWICZ, LukasiewiczSemiring
+from .natural import (N, N2_SATURATING, N3_SATURATING, NaturalSemiring,
+                      SaturatingNaturalSemiring)
+from .posbool import POSBOOL, PosBoolSemiring
+from .probability import EVENTS, EventSemiring
+from .product import LIN_X_N2, ProductSemiring
+from .properties import (AuditReport, audit, audit_declared_axioms,
+                         audit_positivity, audit_semiring_laws)
+from .provenance import BX, N2X, N3X, NX, ProvenancePolynomialSemiring
+from .rationals import RPLUS, NonNegativeRationalSemiring
+from .registry import ALL_SEMIRINGS, get_semiring
+from .ssur_free import SSUR, SsurFreeSemiring
+from .trio import TRIO, TrioSemiring
+from .tropical import (TMINUS, TPLUS, TropicalMaxPlusSemiring,
+                       TropicalMinPlusSemiring)
+from .viterbi import VITERBI, ViterbiSemiring
+from .why import WHY, WhySemiring
+
+__all__ = [
+    "ACCESS", "ALL_SEMIRINGS", "AbsorptivePolynomialSemiring",
+    "AccessControlSemiring", "AuditReport", "B", "BOTTOM", "BX",
+    "BooleanSemiring", "EVENTS", "EventSemiring", "FUZZY", "FuzzySemiring",
+    "INFINITE_OFFSET", "LEVELS", "LIN", "LIN_X_N2", "LUKASIEWICZ", "LineageSemiring", "ProductSemiring",
+    "LukasiewiczSemiring", "N", "N2X", "N2_SATURATING", "N3X",
+    "N3_SATURATING", "NX", "NaturalSemiring", "NonNegativeRationalSemiring",
+    "POSBOOL", "PosBoolSemiring", "ProvenancePolynomialSemiring", "RPLUS",
+    "SORP", "SSUR", "SaturatingNaturalSemiring", "Semiring",
+    "SemiringProperties", "SsurFreeSemiring",
+    "TMINUS", "TPLUS", "TRIO", "TrioSemiring", "TropicalMaxPlusSemiring",
+    "TropicalMinPlusSemiring", "VITERBI", "ViterbiSemiring", "WHY",
+    "WhySemiring", "audit", "audit_declared_axioms", "audit_positivity",
+    "audit_semiring_laws", "check_positive_order_samples", "get_semiring",
+]

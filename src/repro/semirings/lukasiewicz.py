@@ -1,0 +1,59 @@
+"""The Łukasiewicz semiring ``L = ([0, 1], max, ⊗L, 0, 1)``.
+
+The product is the Łukasiewicz t-norm ``a ⊗L b = max(0, a + b − 1)``,
+used in many-valued logic and annotated RDF frameworks.  ``L`` is
+1-annihilating (``max(1, x) = 1``) hence in ``Sin``, but not
+⊗-idempotent (``x ⊗L x = max(0, 2x − 1) ≠ x`` in the open interval) and
+not ⊗-semi-idempotent (t-norms shrink: ``x⊗x⊗y ≤ x⊗y``), so like ``T+``
+it is a member of ``Sin`` with no homomorphism characterization.
+
+Elements are exact :class:`fractions.Fraction` values in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .base import Semiring, SemiringProperties
+
+_SAMPLES = (
+    Fraction(0), Fraction(1), Fraction(1), Fraction(1, 2), Fraction(1, 3),
+    Fraction(2, 3), Fraction(1, 4), Fraction(3, 4), Fraction(7, 8),
+)
+
+
+class LukasiewiczSemiring(Semiring):
+    """``L``: max with the Łukasiewicz t-norm."""
+
+    name = "L"
+    properties = SemiringProperties(
+        one_annihilating=True,
+        add_idempotent=True,
+        offset=1,
+        notes="Sin member via the Łukasiewicz t-norm; no homomorphism "
+              "characterization (injective homs sufficient only).",
+    )
+
+    @property
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    @property
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def add(self, a: Fraction, b: Fraction) -> Fraction:
+        return max(a, b)
+
+    def mul(self, a: Fraction, b: Fraction) -> Fraction:
+        return max(Fraction(0), a + b - 1)
+
+    def leq(self, a: Fraction, b: Fraction) -> bool:
+        return a <= b
+
+    def sample(self, rng) -> Fraction:
+        return rng.choice(_SAMPLES)
+
+
+#: Singleton Łukasiewicz semiring.
+LUKASIEWICZ = LukasiewiczSemiring()

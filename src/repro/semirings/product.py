@@ -1,0 +1,104 @@
+"""Product semirings ``K1 × K2``.
+
+The componentwise product of two positive semirings is positive again
+(operations and the order act per coordinate), and query containment
+over the product holds iff it holds over *both* factors — an instance
+over ``K1 × K2`` is just a pair of instances.  Products are how the
+classification's intersections are inhabited: the registered
+
+    ``Lin[X] × N₂``
+
+is ⊗-idempotent (both factors are) with smallest offset 2 (the ``N₂``
+factor), making it a member of ``S²hcov`` that — unlike bare ``N₂``,
+whose saturation defeats covering necessity (``r·s ≼ r + r`` whenever
+``s ≤ 2``) — also satisfies the ``N²hcov`` necessity axiom: the lineage
+factor forces every variable to be used and the saturating factor
+forces ``min(ℓ, 2)`` monomials.  It is our representative for the
+``C2hcov`` row of Table 1 (Thm. 5.24, ``k = 2``); the membership is
+validated against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from .base import Semiring, SemiringProperties
+from .lineage import LIN
+from .natural import N2_SATURATING
+
+__all__ = ["ProductSemiring", "LIN_X_N2"]
+
+
+class ProductSemiring(Semiring):
+    """Componentwise product of two semirings, elements are pairs."""
+
+    def __init__(self, left: Semiring, right: Semiring,
+                 properties: SemiringProperties | None = None):
+        self.left = left
+        self.right = right
+        self.name = f"{left.name}×{right.name}"
+        if properties is not None:
+            self.properties = properties
+        else:
+            lp, rp = left.properties, right.properties
+            self.properties = SemiringProperties(
+                mul_idempotent=lp.mul_idempotent and rp.mul_idempotent,
+                one_annihilating=lp.one_annihilating and rp.one_annihilating,
+                add_idempotent=lp.add_idempotent and rp.add_idempotent,
+                mul_semi_idempotent=(lp.mul_semi_idempotent
+                                     and rp.mul_semi_idempotent),
+                offset=max(lp.offset, rp.offset),
+                notes=f"componentwise product of {left.name} and "
+                      f"{right.name}",
+            )
+
+    @property
+    def zero(self) -> tuple:
+        return (self.left.zero, self.right.zero)
+
+    @property
+    def one(self) -> tuple:
+        return (self.left.one, self.right.one)
+
+    def add(self, a: tuple, b: tuple) -> tuple:
+        return (self.left.add(a[0], b[0]), self.right.add(a[1], b[1]))
+
+    def mul(self, a: tuple, b: tuple) -> tuple:
+        return (self.left.mul(a[0], b[0]), self.right.mul(a[1], b[1]))
+
+    def leq(self, a: tuple, b: tuple) -> bool:
+        return self.left.leq(a[0], b[0]) and self.right.leq(a[1], b[1])
+
+    def eq(self, a: tuple, b: tuple) -> bool:
+        return self.left.eq(a[0], b[0]) and self.right.eq(a[1], b[1])
+
+    def normalize(self, a: tuple) -> tuple:
+        return (self.left.normalize(a[0]), self.right.normalize(a[1]))
+
+    def sample(self, rng) -> tuple:
+        return (self.left.sample(rng), self.right.sample(rng))
+
+    def var(self, name: str) -> tuple:
+        """Generic generator pair (delegates where factors support it)."""
+        left = getattr(self.left, "var", None)
+        right = getattr(self.right, "var", None)
+        return (
+            left(name) if left else self.left.one,
+            right(name) if right else self.right.one,
+        )
+
+
+#: The C2hcov representative: ⊗-idempotent with smallest offset 2 and
+#: the N²hcov necessity axiom (validated empirically).
+LIN_X_N2 = ProductSemiring(
+    LIN, N2_SATURATING,
+    properties=SemiringProperties(
+        mul_idempotent=True,
+        mul_semi_idempotent=True,
+        offset=2,
+        in_nhcov=False,
+        in_n1hcov=True,
+        in_n2hcov=True,
+        notes="C2hcov representative (Thm. 5.24, k = 2): the lineage "
+              "factor supplies covering necessity, the saturating factor "
+              "the offset-2 multiplicity requirement.",
+    ),
+)

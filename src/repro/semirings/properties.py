@@ -1,0 +1,197 @@
+"""Empirical axiom auditing for semirings.
+
+Python's dynamic encoding loses the algebraic type safety that would
+make a mis-declared semiring fail to compile, so every registered
+semiring is *audited*: the semiring laws, the positivity of the order,
+and each declared classification flag are tested on thousands of sampled
+elements.  Declared-False axioms are conversely checked by *searching*
+for a violating sample, so a copy-paste error in a properties record is
+caught from both sides.
+
+These audits are necessarily one-sided for infinite semirings (sampling
+cannot prove a universal statement), which mirrors the paper's own
+division of labour: the algebra is proved on paper, the code verifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .base import INFINITE_OFFSET, Semiring
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one semiring."""
+
+    semiring: str
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.failures
+
+
+def _samples(semiring: Semiring, rng: random.Random, count: int) -> list:
+    pool = [semiring.zero, semiring.one]
+    for _ in range(count):
+        pool.append(semiring.sample(rng))
+    return pool
+
+
+def audit_semiring_laws(semiring: Semiring, rng: random.Random | None = None,
+                        rounds: int = 200) -> AuditReport:
+    """Check the commutative-semiring laws on sampled triples."""
+    rng = rng or random.Random(0)
+    report = AuditReport(semiring.name)
+    eq = semiring.eq
+    add, mul = semiring.add, semiring.mul
+    zero, one = semiring.zero, semiring.one
+    for _ in range(rounds):
+        a, b, c = (semiring.sample(rng) for _ in range(3))
+        if not eq(add(a, b), add(b, a)):
+            report.failures.append(f"⊕ not commutative at {a!r}, {b!r}")
+        if not eq(mul(a, b), mul(b, a)):
+            report.failures.append(f"⊗ not commutative at {a!r}, {b!r}")
+        if not eq(add(add(a, b), c), add(a, add(b, c))):
+            report.failures.append(f"⊕ not associative at {a!r},{b!r},{c!r}")
+        if not eq(mul(mul(a, b), c), mul(a, mul(b, c))):
+            report.failures.append(f"⊗ not associative at {a!r},{b!r},{c!r}")
+        if not eq(add(a, zero), a):
+            report.failures.append(f"0 not ⊕-identity at {a!r}")
+        if not eq(mul(a, one), a):
+            report.failures.append(f"1 not ⊗-identity at {a!r}")
+        if not eq(mul(a, zero), zero):
+            report.failures.append(f"0 not absorbing at {a!r}")
+        if not eq(mul(a, add(b, c)), add(mul(a, b), mul(a, c))):
+            report.failures.append(f"⊗ not distributive at {a!r},{b!r},{c!r}")
+    if eq(zero, one):
+        report.failures.append("trivial semiring: 0 = 1")
+    return report
+
+
+def audit_positivity(semiring: Semiring, rng: random.Random | None = None,
+                     rounds: int = 120) -> AuditReport:
+    """Check the positive-semiring axioms of Prop. 3.1 on samples."""
+    rng = rng or random.Random(1)
+    report = AuditReport(semiring.name)
+    samples = _samples(semiring, rng, max(6, rounds // 10))
+    leq, eq, add = semiring.leq, semiring.eq, semiring.add
+    for a in samples:
+        if not leq(semiring.zero, a):
+            report.failures.append(f"0 ≼ {a!r} fails")
+        if not leq(a, a):
+            report.failures.append(f"≼ not reflexive at {a!r}")
+    for _ in range(rounds):
+        a, b, c = (rng.choice(samples) for _ in range(3))
+        if leq(a, b) and leq(b, a) and not eq(a, b):
+            report.failures.append(f"≼ not antisymmetric at {a!r},{b!r}")
+        if leq(a, b) and leq(b, c) and not leq(a, c):
+            report.failures.append(f"≼ not transitive at {a!r},{b!r},{c!r}")
+        if leq(a, b) and not leq(add(a, c), add(b, c)):
+            report.failures.append(
+                f"⊕ not monotone at {a!r} ≼ {b!r}, + {c!r}")
+        if not leq(a, add(a, b)):
+            report.failures.append(f"a ≼ a ⊕ b fails at {a!r},{b!r}")
+    return report
+
+
+def _holds_on_samples(semiring: Semiring, predicate: Callable,
+                      rng: random.Random, rounds: int) -> str | None:
+    """Return a violation description, or None if none found."""
+    for _ in range(rounds):
+        a, b = semiring.sample(rng), semiring.sample(rng)
+        if not predicate(a, b):
+            return f"violated at {a!r}, {b!r}"
+    return None
+
+
+def _axiom_predicates(semiring: Semiring) -> dict[str, Callable]:
+    eq, leq = semiring.eq, semiring.leq
+    add, mul, one = semiring.add, semiring.mul, semiring.one
+    return {
+        "mul_idempotent": lambda a, b: eq(mul(a, a), a),
+        "one_annihilating": lambda a, b: eq(add(one, a), one),
+        "add_idempotent": lambda a, b: eq(add(a, a), a),
+        "mul_semi_idempotent":
+            lambda a, b: leq(mul(a, b), mul(mul(a, a), b)),
+    }
+
+
+def audit_declared_axioms(semiring: Semiring,
+                          rng: random.Random | None = None,
+                          rounds: int = 300) -> AuditReport:
+    """Check every declared axiom flag in both directions.
+
+    Declared-True axioms must hold on all samples; declared-False axioms
+    must admit a sampled counterexample (the samplers are written to hit
+    the small elements where violations live).
+    """
+    rng = rng or random.Random(2)
+    report = AuditReport(semiring.name)
+    props = semiring.properties
+    for axiom, predicate in _axiom_predicates(semiring).items():
+        declared = getattr(props, axiom)
+        violation = _holds_on_samples(semiring, predicate, rng, rounds)
+        if declared and violation:
+            report.failures.append(f"{axiom} declared but {violation}")
+        if not declared and violation is None:
+            report.failures.append(
+                f"{axiom} declared False but no violation found")
+    report.failures.extend(_audit_offset(semiring, rng, rounds))
+    return report
+
+
+def _audit_offset(semiring: Semiring, rng: random.Random,
+                  rounds: int) -> list[str]:
+    """Check the declared offset: ``k·x = ℓ·x`` for ``ℓ > k`` and, when
+    ``k > 1``, that ``(k−1)·x = k·x`` fails for some sample."""
+    offset = semiring.properties.offset
+    failures: list[str] = []
+    if offset == INFINITE_OFFSET:
+        # No finite offset: for each small k there must be a violation of
+        # k·x = (k+1)·x (Prop. 5.11 makes one k enough, we try a few).
+        for k in (1, 2, 3):
+            if _scale_violation(semiring, k, rng, rounds) is None:
+                failures.append(
+                    f"offset declared ∞ but {k}x = {k + 1}x on all samples")
+        return failures
+    k = int(offset)
+    for _ in range(rounds):
+        x = semiring.sample(rng)
+        base = semiring.scale(k, x)
+        for extra in (1, 2):
+            if not semiring.eq(base, semiring.scale(k + extra, x)):
+                failures.append(
+                    f"offset {k} declared but {k}x ≠ {k + extra}x at {x!r}")
+                break
+    if k > 1 and _scale_violation(semiring, k - 1, rng, rounds) is None:
+        failures.append(
+            f"offset {k} declared but {k - 1}x = {k}x on all samples "
+            "(smallest offset is smaller)")
+    return failures
+
+
+def _scale_violation(semiring: Semiring, k: int, rng: random.Random,
+                     rounds: int) -> str | None:
+    """Find a sample with ``k·x ≠ (k+1)·x``, or None."""
+    for _ in range(rounds):
+        x = semiring.sample(rng)
+        if not semiring.eq(semiring.scale(k, x), semiring.scale(k + 1, x)):
+            return f"{x!r}"
+    return None
+
+
+def audit(semiring: Semiring, rng: random.Random | None = None,
+          rounds: int = 200) -> AuditReport:
+    """Run all audits and merge the reports."""
+    rng = rng or random.Random(3)
+    report = AuditReport(semiring.name)
+    report.failures.extend(audit_semiring_laws(semiring, rng, rounds).failures)
+    report.failures.extend(audit_positivity(semiring, rng, rounds).failures)
+    report.failures.extend(
+        audit_declared_axioms(semiring, rng, rounds).failures)
+    return report

@@ -1,0 +1,61 @@
+"""The non-negative rationals ``R+`` with ordinary arithmetic.
+
+The paper uses ``R+`` (Sec. 4.3) as an example of a semiring for which
+even the bijective-homomorphism condition is *not* necessary: by AM–GM,
+``x1·x2 ≼R+ x1² + x2²`` although the right side has no square-free
+monomial, so ``R+`` lies outside ``Nin`` (and ``Nsur``).  It is also not
+⊗-semi-idempotent (``x·y ≤ x²·y`` fails for ``x < 1``), leaving it in
+the plain class ``S``: bijective homomorphisms are sufficient, only
+homomorphic covering is known to be necessary, and no decision procedure
+for containment over ``R+`` is provided by the paper.
+
+Elements are exact :class:`fractions.Fraction` values ``≥ 0``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .base import INFINITE_OFFSET, Semiring, SemiringProperties
+
+_SAMPLES = (
+    Fraction(0), Fraction(1), Fraction(1), Fraction(1, 2), Fraction(2),
+    Fraction(1, 3), Fraction(3), Fraction(5, 2),
+)
+
+
+class NonNegativeRationalSemiring(Semiring):
+    """``R+``: ordinary arithmetic on the non-negative rationals."""
+
+    name = "R+"
+    properties = SemiringProperties(
+        offset=INFINITE_OFFSET,
+        in_nhcov=True,
+        notes="Plain S member: outside Ssur (x < 1 defeats "
+              "semi-idempotence) and outside Nin/Nsur (AM-GM); only "
+              "bounds are available for containment.",
+    )
+
+    @property
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    @property
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def add(self, a: Fraction, b: Fraction) -> Fraction:
+        return a + b
+
+    def mul(self, a: Fraction, b: Fraction) -> Fraction:
+        return a * b
+
+    def leq(self, a: Fraction, b: Fraction) -> bool:
+        return a <= b
+
+    def sample(self, rng) -> Fraction:
+        return rng.choice(_SAMPLES)
+
+
+#: Singleton non-negative rational semiring.
+RPLUS = NonNegativeRationalSemiring()

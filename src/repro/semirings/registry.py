@@ -1,0 +1,68 @@
+"""Registry of all built-in annotation semirings.
+
+The registry drives the parameterized test suites, the classification
+benchmark (Table 1 membership matrix) and name-based lookup in the
+examples.
+"""
+
+from __future__ import annotations
+
+from .absorptive import SORP, AbsorptivePolynomialSemiring
+from .access import ACCESS, AccessControlSemiring
+from .base import Semiring
+from .boolean import B, BooleanSemiring
+from .fuzzy import FUZZY, FuzzySemiring
+from .lineage import LIN, LineageSemiring
+from .lukasiewicz import LUKASIEWICZ, LukasiewiczSemiring
+from .natural import (N, N2_SATURATING, N3_SATURATING,
+                      NaturalSemiring, SaturatingNaturalSemiring)
+from .posbool import POSBOOL, PosBoolSemiring
+from .probability import EVENTS, EventSemiring
+from .product import LIN_X_N2, ProductSemiring
+from .provenance import BX, N2X, N3X, NX, ProvenancePolynomialSemiring
+from .rationals import RPLUS, NonNegativeRationalSemiring
+from .ssur_free import SSUR, SsurFreeSemiring
+from .trio import TRIO, TrioSemiring
+from .tropical import (TMINUS, TPLUS, TropicalMaxPlusSemiring,
+                       TropicalMinPlusSemiring)
+from .viterbi import VITERBI, ViterbiSemiring
+from .why import WHY, WhySemiring
+
+#: Every built-in semiring instance, in presentation order.
+ALL_SEMIRINGS: tuple[Semiring, ...] = (
+    B,
+    POSBOOL,
+    EVENTS,
+    FUZZY,
+    ACCESS,
+    LIN,
+    SORP,
+    TPLUS,
+    VITERBI,
+    LUKASIEWICZ,
+    WHY,
+    TRIO,
+    SSUR,
+    TMINUS,
+    N,
+    N2_SATURATING,
+    N3_SATURATING,
+    LIN_X_N2,
+    NX,
+    BX,
+    N2X,
+    N3X,
+    RPLUS,
+)
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by its display name.
+
+    Raises ``KeyError`` with the available names on a miss.
+    """
+    for semiring in ALL_SEMIRINGS:
+        if semiring.name == name:
+            return semiring
+    available = ", ".join(s.name for s in ALL_SEMIRINGS)
+    raise KeyError(f"unknown semiring {name!r}; available: {available}")

@@ -1,0 +1,89 @@
+"""The Trio provenance semiring ``Trio[X]`` (Das Sarma–Theobald–Widom).
+
+Trio lineage counts *how many times* each witness derives a tuple but
+forgets exponents inside a witness: ``Trio[X]`` is the quotient of
+``N[X]`` by the congruence ``x² = x`` — polynomials whose monomials are
+square-free ("bags of witnesses").
+
+``Trio[X]`` is ⊗-semi-idempotent (squaring a sum only grows coefficients)
+but neither ⊗-idempotent, 1-annihilating, nor ⊕-idempotent; its smallest
+offset is ``∞``.  The paper places it in ``Csur`` at the CQ level
+(Thm. 4.14) and *excludes* it from ``N¹sur`` (Sec. 5.3) — at the UCQ
+level the right condition for it is the matching-based ``։∞``
+(Thm. 5.17, membership in ``C∞sur`` validated against the oracle).
+
+Elements are :class:`~repro.polynomials.polynomial.Polynomial` values
+whose monomials are square-free.
+"""
+
+from __future__ import annotations
+
+from ..polynomials.polynomial import Monomial, Polynomial
+from .base import INFINITE_OFFSET, Semiring, SemiringProperties
+
+
+def _squash(poly: Polynomial) -> Polynomial:
+    """Project onto square-free monomials (drop exponents)."""
+    return Polynomial(
+        (mono.support_monomial(), coeff) for mono, coeff in poly.items()
+    )
+
+
+class TrioSemiring(Semiring):
+    """``Trio[X]``: bags of witnesses — ``N[X]`` modulo ``x² = x``."""
+
+    name = "Trio[X]"
+    properties = SemiringProperties(
+        mul_semi_idempotent=True,
+        offset=INFINITE_OFFSET,
+        in_nhcov=True,
+        in_nsur=True,
+        notes="Csur representative with infinite offset (Thm. 4.14). "
+              "Explicitly NOT in N1sur (Sec. 5.3), hence not in N∞sur "
+              "either (N∞sur ⊆ N1sur via the quotient-map composition), "
+              "so at the UCQ level only bounds are available; the C∞sur "
+              "representative is the free ordered Ssur[X].",
+    )
+
+    def __init__(self, variables: tuple[str, ...] = ()):
+        #: Suggested sampling universe.
+        self.variables = tuple(variables) or ("x", "y", "z")
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a.add(b)
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return _squash(a.mul(b))
+
+    def leq(self, a: Polynomial, b: Polynomial) -> bool:
+        """Natural order: coefficient-wise ``≤`` on witness bags."""
+        return a.natural_leq(b)
+
+    def normalize(self, a: Polynomial) -> Polynomial:
+        return _squash(a)
+
+    def var(self, name: str) -> Polynomial:
+        """The annotation of a base tuple: one singleton witness."""
+        return Polynomial.variable(name)
+
+    def sample(self, rng) -> Polynomial:
+        count = rng.choice((0, 1, 1, 2, 2))
+        terms = []
+        for _ in range(count):
+            size = rng.choice((0, 1, 1, 2))
+            witness = rng.sample(self.variables, min(size, len(self.variables)))
+            coeff = rng.choice((1, 1, 2, 3))
+            terms.append((Monomial.from_variables(witness), coeff))
+        return Polynomial(terms)
+
+
+#: Singleton Trio semiring.
+TRIO = TrioSemiring()

@@ -1,0 +1,12 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests needing different streams reseed."""
+    return random.Random(0xC0FFEE)

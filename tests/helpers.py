@@ -1,0 +1,32 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import ALL_SEMIRINGS
+
+
+def semiring_params():
+    """All registered semirings as pytest params keyed by name."""
+    return [pytest.param(s, id=s.name) for s in ALL_SEMIRINGS]
+
+
+def exact_cq_semirings():
+    """Semirings whose CQ containment is decided by Table 1."""
+    from repro.core import classify
+    return [
+        pytest.param(s, id=s.name) for s in ALL_SEMIRINGS
+        if classify(s).cq_exact_class() is not None
+        or classify(s).small_model
+    ]
+
+
+def exact_ucq_semirings():
+    """Semirings whose UCQ containment is decided by Table 1."""
+    from repro.core import classify
+    return [
+        pytest.param(s, id=s.name) for s in ALL_SEMIRINGS
+        if classify(s).ucq_exact_class() is not None
+        or classify(s).small_model
+    ]

@@ -1,0 +1,189 @@
+"""CQ-admissible polynomials (Def. 4.7, Prop. 4.16).
+
+Covers the paper's explicit examples and the structural property that
+every polynomial produced by evaluating a CQ on a canonical instance is
+admissible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import canonical_instance
+from repro.polynomials import (Polynomial, distinct_orderings,
+                               is_cq_admissible, representations,
+                               zigzag_closed)
+from repro.polynomials.polynomial import Monomial
+from repro.queries import evaluate, parse_cq
+from repro.queries.generators import random_cq
+from repro.semirings import NX
+
+
+def poly(terms):
+    return Polynomial.parse_terms(terms)
+
+
+# --- paper's examples (Sec. 4.5) --------------------------------------
+
+def test_x_squared_admissible():
+    assert is_cq_admissible(poly([(1, "xx")]))
+
+
+def test_2xy_admissible():
+    assert is_cq_admissible(poly([(2, "xy")]))
+
+
+def test_x_plus_y_admissible():
+    assert is_cq_admissible(poly([(1, "x"), (1, "y")]))
+
+
+def test_2x_not_admissible():
+    """Only one ordering of 'x' exists — coefficient 2 is unreachable."""
+    assert not is_cq_admissible(poly([(2, "x")]))
+
+
+def test_x2_plus_y_not_admissible():
+    """Not homogeneous."""
+    assert not is_cq_admissible(poly([(1, "xx"), (1, "y")]))
+
+
+def test_x2_xy_y2_not_admissible():
+    """The paper's subtle example: satisfies the degree requirements but
+    fails the zig-zag closure (the missing mixed term is forced)."""
+    assert not is_cq_admissible(poly([(1, "xx"), (1, "xy"), (1, "yy")]))
+
+
+def test_full_square_admissible():
+    """(x + y)² = x² + 2xy + y² IS admissible (Ex. 4.6's Q1 produces it)."""
+    assert is_cq_admissible(poly([(1, "xx"), (2, "xy"), (1, "yy")]))
+
+
+def test_power_of_sum_admissible():
+    """(x1 + … + xn)^k is the paper's canonical admissible polynomial."""
+    s = Polynomial.variable("x") + Polynomial.variable("y")
+    assert is_cq_admissible(s.power(2))
+    assert is_cq_admissible(s.power(3))
+
+
+def test_zero_and_single_variable_admissible():
+    assert is_cq_admissible(Polynomial.zero())
+    assert is_cq_admissible(poly([(1, "x")]))
+
+
+def test_constants_not_admissible():
+    """Every CQ has at least one atom, so degree-0 terms cannot occur."""
+    assert not is_cq_admissible(Polynomial.one())
+    assert not is_cq_admissible(Polynomial.constant(2))
+
+
+# --- machinery --------------------------------------------------------
+
+def test_distinct_orderings():
+    assert distinct_orderings(Monomial.from_variables("xy")) == (
+        ("x", "y"), ("y", "x"))
+    assert distinct_orderings(Monomial.from_variables("xx")) == (("x", "x"),)
+
+
+def test_representations_count():
+    # 2xy has exactly one representation: both orderings.
+    reps = list(representations(poly([(2, "xy")])))
+    assert reps == [frozenset({("x", "y"), ("y", "x")})]
+    # 1xy has two: either ordering.
+    reps = list(representations(poly([(1, "xy")])))
+    assert len(reps) == 2
+
+
+def test_representation_overflow_rejected():
+    assert list(representations(poly([(3, "xy")]))) == []
+
+
+def test_zigzag_closed_simple():
+    assert zigzag_closed(frozenset({("x", "x"), ("y", "y")}))
+    assert zigzag_closed(frozenset({("x", "y"), ("y", "x")}))
+    # {xx, yy, xy} forces yx via the chain yy ~ xy ~ xx.
+    assert not zigzag_closed(frozenset({("x", "x"), ("y", "y"), ("x", "y")}))
+    # Degree-1 words are always closed.
+    assert zigzag_closed(frozenset({("x",), ("y",)}))
+    assert zigzag_closed(frozenset())
+
+
+# --- every query-produced polynomial is admissible --------------------
+
+@pytest.mark.parametrize("text", [
+    "Q() :- R(u, v), R(u, w)",
+    "Q() :- R(u, v), R(u, v)",
+    "Q() :- R(u, u), R(u, w)",
+    "Q() :- R(u, v), S(u)",
+    "Q() :- R(u, v), R(v, u)",
+])
+def test_canonical_evaluations_admissible(text):
+    query = parse_cq(text)
+    tagged = canonical_instance(query)
+    result = evaluate(query, tagged.instance, (), NX)
+    assert is_cq_admissible(result), (text, result)
+
+
+def test_random_canonical_evaluations_admissible():
+    rng = random.Random(42)
+    for _ in range(25):
+        q_data = random_cq(rng, max_atoms=2, max_vars=3)
+        q_eval = random_cq(rng, max_atoms=2, max_vars=3)
+        tagged = canonical_instance(q_data)
+        result = evaluate(q_eval, tagged.instance, (), NX)
+        assert is_cq_admissible(result), (q_data, q_eval, result)
+
+
+# --- the constructive direction (realize) ------------------------------
+
+from repro.polynomials.admissible import realize
+
+
+@pytest.mark.parametrize("terms", [
+    [(1, "xx")],
+    [(2, "xy")],
+    [(1, "x"), (1, "y")],
+    [(1, "xx"), (2, "xy"), (1, "yy")],
+    [(1, "xx"), (1, "yy")],
+], ids=["x^2", "2xy", "x+y", "(x+y)^2", "x^2+y^2"])
+def test_realize_finds_witnesses(terms):
+    target = poly(terms)
+    witness = realize(target)
+    assert witness is not None
+    query, tagged, renaming = witness
+    produced = evaluate(query, tagged.instance, (), NX)
+    # the witness reproduces the polynomial modulo the tag renaming
+    renamed = Polynomial(
+        (Monomial(tuple((renaming[var], exp) for var, exp in mono.powers)),
+         coeff)
+        for mono, coeff in produced.items()
+    )
+    assert renamed == target
+
+
+@pytest.mark.parametrize("terms", [
+    [(2, "x")],
+    [(1, "xx"), (1, "xy"), (1, "yy")],
+    [(1, "xx"), (1, "y")],
+], ids=["2x", "x^2+xy+y^2", "x^2+y"])
+def test_realize_rejects_inadmissible(terms):
+    assert realize(poly(terms)) is None
+
+
+def test_realize_agrees_with_characterization():
+    """On a pool of small polynomials the two directions of Prop. 4.16
+    coincide: realizable ⟺ zig-zag representable."""
+    candidates = [
+        poly([(1, "x")]),
+        poly([(2, "x")]),
+        poly([(1, "xy")]),
+        poly([(2, "xy")]),
+        poly([(1, "xx"), (1, "xy")]),
+        poly([(1, "xx"), (2, "xy"), (1, "yy")]),
+        poly([(1, "xx"), (1, "xy"), (1, "yy")]),
+    ]
+    for candidate in candidates:
+        realized = realize(candidate) is not None
+        characterized = is_cq_admissible(candidate)
+        assert realized == characterized, candidate

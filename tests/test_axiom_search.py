@@ -1,0 +1,181 @@
+"""The executable necessary-class axioms (Secs. 4.1–5.4).
+
+For every semiring with a decidable polynomial order, each declared
+classification flag is confronted with the bounded axiom search:
+declared-False memberships must be *refutable* (a concrete violating
+polynomial pair exists) and declared-True memberships must survive the
+bounded probes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (admissible_probe_polynomials, falsify_nhcov,
+                        falsify_nin, falsify_nk_bi, falsify_nk_hcov,
+                        falsify_nsur, probe_polynomials)
+from repro.polynomials import Polynomial
+from repro.semirings import (B, BX, FUZZY, LIN, N2X, N2_SATURATING, NX,
+                             POSBOOL, SORP, TMINUS, TPLUS, VITERBI, WHY)
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return probe_polynomials(random.Random(11), 50)
+
+
+@pytest.fixture(scope="module")
+def admissible():
+    return admissible_probe_polynomials(random.Random(12), 25)
+
+
+# --- Nhcov ------------------------------------------------------------
+
+def test_lattices_violate_nhcov():
+    """For distributive lattices the product is below the sum, so
+    covering is NOT necessary (consistent with Chom membership)."""
+    for semiring in (B, POSBOOL, FUZZY):
+        violation = falsify_nhcov(semiring)
+        assert violation is not None, semiring.name
+        assert violation.axiom == "Nhcov"
+
+
+def test_tminus_survives_nhcov():
+    """T− is claimed in Nhcov: the bounded search must stay silent."""
+    assert falsify_nhcov(TMINUS) is None
+
+
+def test_tplus_violates_nhcov():
+    """min-plus: the k-fold sum stays below the long product."""
+    assert falsify_nhcov(TPLUS) is not None
+
+
+def test_saturating_violates_nhcov():
+    """Saturation caps the sum side: N₂ falls out of Nhcov (the finding
+    that moved the C2hcov representative to Lin[X]×N₂)."""
+    assert falsify_nhcov(N2_SATURATING) is not None
+
+
+def test_lineage_survives_nhcov():
+    assert falsify_nhcov(LIN) is None
+
+
+# --- Nin ----------------------------------------------------------------
+
+def test_sorp_survives_nin(admissible):
+    assert falsify_nin(SORP, admissible) is None
+
+
+def test_tplus_violates_nin(admissible):
+    """The Ex. 4.6 witness: x1x2 ≼T+ x1² + x2² with no square-free
+    sub-monomial on the right."""
+    violation = falsify_nin(TPLUS, admissible)
+    assert violation is not None
+    assert not any(
+        mono.is_squarefree() and not mono.is_unit()
+        for mono, _ in violation.right.items()
+    )
+
+
+def test_viterbi_violates_nin(admissible):
+    """Ex. 4.6 transfers through the −log isomorphism."""
+    assert falsify_nin(VITERBI, admissible) is not None
+
+
+def test_why_violates_nin(admissible):
+    assert falsify_nin(WHY, admissible) is not None
+
+
+def test_nx_survives_nin(admissible):
+    assert falsify_nin(NX, admissible) is None
+
+
+# --- Nsur ----------------------------------------------------------------
+
+def test_why_survives_nsur(admissible):
+    assert falsify_nsur(WHY, admissible) is None
+
+
+def test_lin_violates_nsur(admissible):
+    """⊗-idempotence collapses exponents: surjectivity is unnecessary."""
+    assert falsify_nsur(LIN, admissible) is not None
+
+
+def test_nx_survives_nsur(admissible):
+    assert falsify_nsur(NX, admissible) is None
+
+
+def test_b_violates_nsur(admissible):
+    assert falsify_nsur(B, admissible) is not None
+
+
+# --- Nkhcov ----------------------------------------------------------------
+
+def test_lin_survives_n1hcov(probes):
+    assert falsify_nk_hcov(LIN, 1, probes) is None
+
+
+def test_lin_violates_n2hcov(probes):
+    """⊕-idempotence absorbs the multiplicity-2 requirement."""
+    violation = falsify_nk_hcov(LIN, 2, probes)
+    assert violation is not None
+    assert "monomials" in violation.detail
+
+
+def test_n2_violates_n1hcov(probes):
+    """The automatic rediscovery of the N₂ finding: the cap bounds every
+    value by 2·1, so a variable can be dropped from the right side."""
+    violation = falsify_nk_hcov(N2_SATURATING, 1, probes)
+    assert violation is not None
+    assert "unused" in violation.detail
+
+
+def test_tminus_survives_n1hcov(probes):
+    assert falsify_nk_hcov(TMINUS, 1, probes) is None
+
+
+def test_tminus_violates_n2hcov(probes):
+    """Tropical addition absorbs coefficients: min(ℓ,2) = 2 copies can
+    never be required."""
+    assert falsify_nk_hcov(TMINUS, 2, probes) is not None
+
+
+# --- Nkbi ----------------------------------------------------------------
+
+def test_nx_survives_ninf_bi(probes):
+    assert falsify_nk_bi(NX, float("inf"), probes) is None
+
+
+def test_bx_violates_ninf_bi(probes):
+    """Boolean coefficients collapse ℓ·M to M: the coefficient demand of
+    C∞bi fails — B[X] sits in C1bi instead."""
+    violation = falsify_nk_bi(BX, float("inf"), probes)
+    assert violation is not None
+
+
+def test_bx_survives_n1_bi(probes):
+    assert falsify_nk_bi(BX, 1, probes) is None
+
+
+def test_n2x_survives_n2_bi(probes):
+    assert falsify_nk_bi(N2X, 2, probes) is None
+
+
+def test_n2x_violates_ninf_bi(probes):
+    assert falsify_nk_bi(N2X, float("inf"), probes) is not None
+
+
+# --- reporting -------------------------------------------------------------
+
+def test_violation_repr(probes):
+    violation = falsify_nhcov(B)
+    text = repr(violation)
+    assert "Nhcov" in text and "≼" in text
+
+
+def test_probe_pools_include_paper_polynomials(probes, admissible):
+    ex46 = Polynomial.parse_terms([(1, ("z1", "z1")), (1, ("z2", "z2"))])
+    assert ex46 in admissible
+    assert Polynomial.parse_terms([(2, ("x1",))]) in probes

@@ -1,0 +1,182 @@
+"""The classification of every registered semiring (Table 1 + Secs. 3–5).
+
+This is the paper's central artifact pinned as assertions: which class
+each named semiring belongs to, and therefore which decision procedure
+answers containment for it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import classify
+from repro.semirings import (ACCESS, ALL_SEMIRINGS, B, BX, EVENTS, FUZZY,
+                             LIN, LIN_X_N2, LUKASIEWICZ, N, N2X,
+                             N2_SATURATING, N3X, N3_SATURATING, NX,
+                             POSBOOL, RPLUS, SORP, TMINUS, TPLUS, TRIO,
+                             VITERBI, WHY)
+
+
+def test_chom_members():
+    """B, PosBool[X], P[Ω], fuzzy, access control: distributive lattices."""
+    for semiring in (B, POSBOOL, EVENTS, FUZZY, ACCESS):
+        cls = classify(semiring)
+        assert cls.c_hom, semiring.name
+        assert cls.cq_exact_class() == "Chom"
+        assert cls.ucq_exact_class() == "Chom"
+
+
+def test_lineage_is_c1hcov():
+    cls = classify(LIN)
+    assert cls.s_hcov and not cls.s_in
+    assert cls.cq_exact_class() == "Chcov"
+    assert cls.ucq_exact_class() == "C1hcov"
+
+
+def test_product_is_c2hcov():
+    cls = classify(LIN_X_N2)
+    assert cls.s_hcov
+    assert cls.offset == 2
+    assert not cls.s1
+    assert cls.ucq_exact_class() == "C2hcov"
+
+
+def test_sorp_is_cin():
+    cls = classify(SORP)
+    assert cls.s_in and not cls.s_hcov and not cls.s_sur
+    assert cls.cq_exact_class() == "Cin"
+    assert cls.ucq_exact_class() == "C1in"
+
+
+def test_tropical_plus_has_no_hom_class():
+    """T+ ∈ Sin \\ (Chom ∪ Cin): small-model only (Sec. 4.2, 4.6)."""
+    cls = classify(TPLUS)
+    assert cls.s_in
+    assert cls.cq_exact_class() is None
+    assert cls.ucq_exact_class() is None
+    assert cls.small_model
+
+
+def test_viterbi_lukasiewicz_like_tplus():
+    for semiring in (VITERBI, LUKASIEWICZ):
+        cls = classify(semiring)
+        assert cls.s_in and cls.cq_exact_class() is None, semiring.name
+    # Viterbi inherits T+'s decidable polynomial order via −log;
+    # Łukasiewicz has no implemented order decision and stays bounded.
+    assert classify(VITERBI).small_model
+    assert not classify(LUKASIEWICZ).small_model
+
+
+def test_why_is_c1sur():
+    cls = classify(WHY)
+    assert cls.s_sur and not cls.s_hcov and not cls.s_in
+    assert cls.cq_exact_class() == "Csur"
+    assert cls.ucq_exact_class() == "C1sur"
+
+
+def test_trio_cq_only():
+    """Trio ∉ N1sur (Sec. 5.3) and N∞sur ⊆ N1sur, so Trio has a CQ
+    procedure but only bounds at the UCQ level."""
+    cls = classify(TRIO)
+    assert cls.s_sur
+    assert math.isinf(cls.offset)
+    assert cls.cq_exact_class() == "Csur"
+    assert cls.ucq_exact_class() is None
+
+
+def test_ssur_free_is_cinf_sur():
+    """The free ordered Ssur semiring is the C∞sur representative."""
+    from repro.semirings import SSUR
+    cls = classify(SSUR)
+    assert cls.s_sur and not cls.s1
+    assert math.isinf(cls.offset)
+    assert cls.cq_exact_class() == "Csur"
+    assert cls.ucq_exact_class() == "C∞sur"
+
+
+def test_tminus_is_ssur_only():
+    """T− ∈ Ssur \\ Nsur: surjective sufficient, small model decides."""
+    cls = classify(TMINUS)
+    assert cls.s_sur and not cls.c_sur
+    assert cls.cq_exact_class() is None
+    assert cls.small_model
+
+
+def test_provenance_polynomials_cbi_family():
+    assert classify(NX).cq_exact_class() == "Cbi"
+    assert classify(NX).ucq_exact_class() == "C∞bi"
+    assert classify(BX).cq_exact_class() == "Cbi"
+    assert classify(BX).ucq_exact_class() == "C1bi"
+    assert classify(N2X).ucq_exact_class() == "Ckbi"
+    assert classify(N2X).offset == 2
+    assert classify(N3X).ucq_exact_class() == "Ckbi"
+    assert classify(N3X).offset == 3
+
+
+def test_bag_semantics_undecided():
+    """N: in Ssur ∩ Nhcov ∩ N²hcov but no decidable class (open/undec.)."""
+    cls = classify(N)
+    assert cls.s_sur and not cls.c_sur
+    assert cls.cq_exact_class() is None
+    assert cls.ucq_exact_class() is None
+    assert not cls.small_model
+
+
+def test_saturating_bags_undecided():
+    for semiring in (N2_SATURATING, N3_SATURATING):
+        cls = classify(semiring)
+        assert cls.ucq_exact_class() is None, semiring.name
+    assert classify(N2_SATURATING).s_hcov
+    assert not classify(N3_SATURATING).s_hcov
+
+
+def test_rplus_plain_class():
+    cls = classify(RPLUS)
+    assert not (cls.s_hcov or cls.s_in or cls.s_sur)
+    assert cls.cq_exact_class() is None
+
+
+def test_shcov_members_have_offset_at_most_2():
+    """Prop. 5.19: Shcov ⊆ S²."""
+    for semiring in ALL_SEMIRINGS:
+        cls = classify(semiring)
+        if cls.s_hcov:
+            assert cls.offset <= 2, semiring.name
+
+
+def test_sin_members_are_add_idempotent():
+    """Sin ⊆ S¹: 1-annihilation implies ⊕-idempotence."""
+    for semiring in ALL_SEMIRINGS:
+        cls = classify(semiring)
+        if cls.s_in:
+            assert cls.s1, semiring.name
+
+
+def test_mul_idempotent_implies_semi_idempotent():
+    """Shcov ⊆ Ssur (partial relaxation, Sec. 4.4)."""
+    for semiring in ALL_SEMIRINGS:
+        cls = classify(semiring)
+        if cls.s_hcov:
+            assert cls.s_sur, semiring.name
+
+
+def test_cbi_equals_nin_intersect_nsur():
+    """Remark at the end of Sec. 4.4."""
+    for semiring in ALL_SEMIRINGS:
+        props = semiring.properties
+        assert classify(semiring).c_bi == (props.in_nin and props.in_nsur)
+
+
+def test_memberships_report():
+    memberships = classify(B).memberships()
+    assert memberships["Chom"] is True
+    assert memberships["C∞bi"] is False
+    assert len(memberships) == 18
+
+
+def test_classify_accepts_properties_record():
+    cls = classify(B.properties, name="custom")
+    assert cls.name == "custom"
+    assert cls.c_hom

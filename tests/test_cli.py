@@ -1,0 +1,165 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_semirings_listing(capsys):
+    code, out, _ = run_cli(capsys, "semirings")
+    assert code == 0
+    assert "N[X]" in out
+    assert "Chom" in out
+
+
+def test_classify(capsys):
+    code, out, _ = run_cli(capsys, "classify", "Ssur[X]")
+    assert code == 0
+    assert "✓ C∞sur" in out
+    assert "offset = ∞" in out
+    # Trio, in contrast, has no UCQ class (∉ N1sur ⊇ N∞sur):
+    code, out, _ = run_cli(capsys, "classify", "Trio[X]")
+    assert code == 0
+    assert "· C∞sur" in out
+
+
+def test_classify_unknown_semiring(capsys):
+    code, _, err = run_cli(capsys, "classify", "K9")
+    assert code == 1
+    assert "error" in err
+
+
+def test_contain_cq(capsys):
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "B",
+        "--q1", "Q() :- R(u, v), R(u, w)",
+        "--q2", "Q() :- R(u, v), R(u, v)")
+    assert code == 0
+    assert "CONTAINED" in out
+    assert "homomorphism" in out
+
+
+def test_contain_ucq(capsys):
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "T+",
+        "--q1", "Q() :- R(v), S(v)",
+        "--q2", "Q() :- R(v), R(v)", "--q2", "Q() :- S(v), S(v)")
+    assert code == 0
+    assert "CONTAINED" in out and "small-model" in out
+
+
+def test_contain_undecided_exit_code(capsys):
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "N",
+        "--q1", "Q() :- R(u, v), R(u, w)",
+        "--q2", "Q() :- R(u, v), R(u, v)")
+    assert code == 2
+    assert "UNDECIDED" in out
+    assert "necessary conditions hold" in out
+
+
+def test_contain_missing_queries(capsys):
+    code, _, err = run_cli(capsys, "contain", "--semiring", "B")
+    assert code == 1
+    assert "required" in err
+
+
+def test_minimize(capsys):
+    code, out, _ = run_cli(
+        capsys, "minimize", "--semiring", "B", "Q(x) :- R(x, y), R(x, z)")
+    assert code == 0
+    assert "removed 1 atom(s)" in out
+
+
+def test_evaluate_with_counts(capsys):
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R('a', 'b') = 2", "--fact", "S('b') = 3",
+        "Q(x) :- R(x, y), S(y)")
+    assert code == 0
+    assert "6" in out
+
+
+def test_evaluate_with_provenance_tokens(capsys):
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--semiring", "N[X]",
+        "--fact", "R('a', 'b') = t1", "--fact", "S('b') = t2",
+        "Q(x) :- R(x, y), S(y)")
+    assert code == 0
+    assert "t1·t2" in out
+
+
+def test_evaluate_empty_answers(capsys):
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R('a', 'b') = 1",
+        "Q(x) :- S(x)")
+    assert code == 0
+    assert "no answers" in out
+
+
+def test_evaluate_rejects_nonground_fact(capsys):
+    code, _, err = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R(x, 'b') = 1", "Q(x) :- R(x, y)")
+    assert code == 1
+    assert "ground" in err
+
+
+def test_evaluate_rejects_bad_annotation(capsys):
+    code, _, err = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R('a') = banana", "Q(x) :- R(x)")
+    assert code == 1
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "semirings"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0
+    assert "B[X]" in result.stdout
+
+
+def test_falsify_all_axioms(capsys):
+    code, out, _ = run_cli(capsys, "falsify", "N_2")
+    assert code == 0
+    assert "nhcov" in out and "VIOLATED" in out
+
+
+def test_falsify_single_axiom_silent(capsys):
+    code, out, _ = run_cli(capsys, "falsify", "T-", "--axiom", "nhcov")
+    assert code == 0
+    assert "no violation" in out
+
+
+def test_falsify_unknown_axiom(capsys):
+    code, _, err = run_cli(capsys, "falsify", "B", "--axiom", "bogus")
+    assert code == 1
+    assert "unknown axiom" in err
+
+
+def test_falsify_requires_poly_order(capsys):
+    code, _, err = run_cli(capsys, "falsify", "L")
+    assert code == 1
+    assert "polynomial order" in err
+
+
+def test_contain_explain_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "N[X]", "--explain",
+        "--q1", "Q() :- R(u, v), R(u, w)",
+        "--q2", "Q() :- R(u, v), R(u, v)")
+    assert code == 0
+    assert "witness instance" in out

@@ -1,0 +1,105 @@
+"""Prop. 3.1: positive semirings give containments satisfying (C1)–(C4).
+
+The paper derives the positivity axioms *from* four requirements on the
+containment relation.  Here we verify the requirements empirically —
+at the semantic level, by evaluation over random instances, not through
+the deciders (which test_cross_validation covers)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Instance
+from repro.queries import UCQ, evaluate
+from repro.queries.generators import random_cq, random_ucq
+from repro.semirings import B, LIN, N, NX, TPLUS, TRIO, WHY
+
+SEMIRINGS = [B, LIN, N, NX, TPLUS, TRIO, WHY]
+
+
+def _instances(semiring, rng, count=3):
+    out = []
+    for _ in range(count):
+        relations = {"R": {}, "S": {}}
+        for a in range(2):
+            for b in range(2):
+                if rng.random() < 0.6:
+                    relations["R"][(a, b)] = semiring.sample(rng)
+            if rng.random() < 0.6:
+                relations["S"][(a,)] = semiring.sample(rng)
+        out.append(Instance(semiring, relations))
+    return out
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_c1_semantic_preorder(semiring):
+    """Pointwise ≼ between query values is reflexive and transitive
+    because ≼K is a partial order."""
+    rng = random.Random(21)
+    queries = [random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+               for _ in range(4)]
+    for instance in _instances(semiring, rng):
+        values = [evaluate(query, instance, ()) for query in queries]
+        for v in values:
+            assert semiring.leq(v, v)
+        for a in values:
+            for b in values:
+                for c in values:
+                    if semiring.leq(a, b) and semiring.leq(b, c):
+                        assert semiring.leq(a, c)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_c2_equivalence_iff_mutual_order(semiring):
+    """Antisymmetry: equal evaluations iff ≼ holds both ways."""
+    rng = random.Random(22)
+    q1 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+    q2 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+    for instance in _instances(semiring, rng):
+        a = evaluate(q1, instance, ())
+        b = evaluate(q2, instance, ())
+        both = semiring.leq(a, b) and semiring.leq(b, a)
+        assert both == semiring.eq(a, b)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_c3_empty_union_is_bottom(semiring):
+    """∅ evaluates to 0 and 0 ≼ everything."""
+    rng = random.Random(23)
+    query = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+    for instance in _instances(semiring, rng):
+        empty_value = evaluate(UCQ(()), instance, ())
+        assert semiring.eq(empty_value, semiring.zero)
+        assert semiring.leq(empty_value, evaluate(query, instance, ()))
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_c4_union_compatible(semiring):
+    """a ≼ b implies a ⊕ c ≼ b ⊕ c, instantiated with query values:
+    whenever Q1's value is below Q2's, adding Q3 preserves it."""
+    rng = random.Random(24)
+    q1 = random_ucq(rng, max_members=1, max_atoms=2, max_vars=2)
+    q2 = random_ucq(rng, max_members=1, max_atoms=2, max_vars=2)
+    q3 = random_ucq(rng, max_members=1, max_atoms=2, max_vars=2)
+    for instance in _instances(semiring, rng):
+        a = evaluate(q1, instance, ())
+        b = evaluate(q2, instance, ())
+        if semiring.leq(a, b):
+            left = evaluate(q1.union(q3), instance, ())
+            right = evaluate(q2.union(q3), instance, ())
+            assert semiring.leq(left, right)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_union_evaluation_is_sum(semiring):
+    """Q1 ∪ Q3 evaluates to Q1 ⊕ Q3 — the identity behind (C4)."""
+    rng = random.Random(25)
+    q1 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+    q3 = random_ucq(rng, max_members=1, max_atoms=2, max_vars=2)
+    for instance in _instances(semiring, rng):
+        assert semiring.eq(
+            evaluate(q1.union(q3), instance, ()),
+            semiring.add(evaluate(q1, instance, ()),
+                         evaluate(q3, instance, ())))

@@ -1,0 +1,199 @@
+"""CQ containment decision procedures (Table 1, left column).
+
+One block per class, each pinning the paper's characterization on
+hand-picked query pairs, plus the universal facts (homomorphism
+necessity, bijective sufficiency) and the honest bounds for bag
+semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Undecided, decide_cq_containment, k_equivalent
+from repro.queries import parse_cq, parse_ucq
+from repro.semirings import (B, LIN, N, NX, POSBOOL, RPLUS, SORP, TMINUS,
+                             TPLUS, TRIO, WHY)
+
+Q_COLLAPSE = parse_cq("Q() :- R(u, v), R(u, w)")   # Ex. 4.6 Q1
+Q_DOUBLE = parse_cq("Q() :- R(u, v), R(u, v)")     # Ex. 4.6 Q2
+Q_SINGLE = parse_cq("Q() :- R(u, v)")
+Q_RS = parse_cq("Q() :- R(u, v), S(u)")
+
+
+# --- universal facts -----------------------------------------------------
+
+@pytest.mark.parametrize("semiring", [B, LIN, SORP, WHY, TRIO, NX, TPLUS,
+                                      TMINUS, N, RPLUS],
+                         ids=lambda s: s.name)
+def test_no_homomorphism_refutes_everywhere(semiring):
+    """Sec. 3.3: a homomorphism Q2 → Q1 is necessary over every K."""
+    q1 = parse_cq("Q() :- R(u, v)")
+    q2 = parse_cq("Q() :- R(u, u)")   # strictly more constrained
+    verdict = decide_cq_containment(q1, q2, semiring)
+    assert verdict.result is False
+
+
+@pytest.mark.parametrize("semiring", [B, LIN, SORP, WHY, TRIO, NX, TPLUS,
+                                      TMINUS, N, RPLUS],
+                         ids=lambda s: s.name)
+def test_identity_containment_everywhere(semiring):
+    verdict = decide_cq_containment(Q_DOUBLE, Q_DOUBLE, semiring)
+    assert verdict.result is True
+
+
+def test_reflexivity_requires_equal_arity():
+    with pytest.raises(ValueError):
+        decide_cq_containment(parse_cq("Q(x) :- R(x, x)"),
+                              parse_cq("Q() :- R(u, u)"), B)
+
+
+def test_cq_entry_rejects_ucqs():
+    u = parse_ucq(["Q() :- R(x, x)"])
+    with pytest.raises(TypeError):
+        decide_cq_containment(u, u, B)
+
+
+# --- Chom (Thm. 3.3): homomorphism ---------------------------------------
+
+def test_chom_set_semantics():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, B)
+    assert verdict.result is True
+    assert verdict.method == "homomorphism"
+    assert verdict.certificate is not None
+
+
+def test_chom_classical_minimization_pair():
+    """R(u,v),R(u,w) ≡B R(u,v): the classical redundancy."""
+    assert decide_cq_containment(Q_COLLAPSE, Q_SINGLE, B).result is True
+    assert decide_cq_containment(Q_SINGLE, Q_COLLAPSE, B).result is True
+    assert k_equivalent(Q_SINGLE, Q_COLLAPSE, POSBOOL).result is True
+
+
+# --- Chcov (Thm. 4.3): homomorphic covering -------------------------------
+
+def test_chcov_lineage():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, LIN)
+    assert verdict.result is True
+    assert verdict.method == "homomorphic-covering"
+
+
+def test_chcov_refutes_uncovered():
+    verdict = decide_cq_containment(Q_RS, Q_SINGLE, LIN)
+    assert verdict.result is False   # S-atom never covered
+    # but under B it holds (hom exists):
+    assert decide_cq_containment(Q_RS, Q_SINGLE, B).result is True
+
+
+# --- Cin (Thm. 4.9): injective homomorphism -------------------------------
+
+def test_cin_sorp():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, SORP)
+    assert verdict.result is False
+    assert verdict.method == "injective-homomorphism"
+    # single-atom query injects:
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_SINGLE, SORP)
+    assert verdict.result is True
+
+
+def test_cin_differs_from_tplus():
+    """Ex. 4.6: containment holds over T+ but fails over Sorp[X] —
+    Sin members genuinely differ once outside Chom."""
+    assert decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, TPLUS).result is True
+    assert decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, SORP).result is False
+
+
+# --- Csur (Thm. 4.14): surjective homomorphism ----------------------------
+
+def test_csur_why():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, WHY)
+    assert verdict.result is False
+    assert verdict.method == "surjective-homomorphism"
+    verdict = decide_cq_containment(Q_SINGLE, Q_DOUBLE, WHY)
+    assert verdict.result is True   # both copies map onto the one atom
+
+
+def test_csur_trio_agrees_with_why_on_cqs():
+    for q1, q2 in [(Q_COLLAPSE, Q_DOUBLE), (Q_SINGLE, Q_DOUBLE),
+                   (Q_COLLAPSE, Q_SINGLE), (Q_RS, Q_SINGLE)]:
+        assert (decide_cq_containment(q1, q2, WHY).result
+                == decide_cq_containment(q1, q2, TRIO).result)
+
+
+# --- Cbi (Thm. 4.10): bijective homomorphism ------------------------------
+
+def test_cbi_provenance_polynomials():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, NX)
+    assert verdict.result is False
+    assert verdict.method == "bijective-homomorphism"
+    # NX containment needs exact multiset match:
+    assert decide_cq_containment(Q_SINGLE, Q_DOUBLE, NX).result is False
+    assert decide_cq_containment(Q_DOUBLE, Q_DOUBLE, NX).result is True
+
+
+def test_cbi_isomorphic_queries_only():
+    q1 = parse_cq("Q() :- R(x, y), R(y, z)")
+    q2 = parse_cq("Q() :- R(a, b), R(b, c)")
+    assert decide_cq_containment(q1, q2, NX).result is True
+
+
+# --- small model (Thm. 4.17): T+, T− ---------------------------------------
+
+def test_small_model_tropical_example():
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, TPLUS)
+    assert verdict.result is True
+    assert verdict.method == "small-model"
+
+
+def test_small_model_tminus():
+    """Under max-plus 2·max(r) equals max over pairs of r+r', so the
+    Ex. 4.6 pair is contained although no surjective hom exists —
+    the small model decides where Ssur-sufficiency is silent."""
+    verdict = decide_cq_containment(Q_COLLAPSE, Q_DOUBLE, TMINUS)
+    assert verdict.result is True
+    assert verdict.method == "small-model"
+    # The reverse direction genuinely fails (2·max ≤ max is false):
+    verdict = decide_cq_containment(Q_DOUBLE, Q_SINGLE, TMINUS)
+    assert verdict.result is False
+
+
+# --- bag semantics: honest bounds ------------------------------------------
+
+def test_bag_sufficient_condition_decides():
+    """Surjective homomorphism is sufficient for N (Sec. 4.4)."""
+    verdict = decide_cq_containment(Q_SINGLE, Q_DOUBLE, N)
+    assert verdict.result is True
+    assert verdict.method == "sufficient-condition"
+
+
+def test_bag_necessary_condition_refutes():
+    """Covering is necessary for N (Sec. 4.1): the S-atom kills it."""
+    verdict = decide_cq_containment(Q_RS, Q_SINGLE, N)
+    assert verdict.result is False
+
+
+def test_bag_gap_is_undecided():
+    """Between the bounds the verdict must stay honest: Q1 ⊆N Q2 with a
+    covering but no surjective hom — the open problem territory."""
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(x, y), R(x, y)")
+    verdict = decide_cq_containment(q1, q2, N)
+    assert verdict.result is None
+    assert verdict.method == "bounds-only"
+    with pytest.raises(Undecided):
+        verdict.unwrap()
+
+
+def test_rplus_undecided_gap():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(x, y), R(x, y)")
+    verdict = decide_cq_containment(q1, q2, RPLUS)
+    assert verdict.result is None
+
+
+# --- k_equivalent -----------------------------------------------------------
+
+def test_k_equivalent_directions():
+    assert k_equivalent(Q_COLLAPSE, Q_SINGLE, B).result is True
+    assert k_equivalent(Q_COLLAPSE, Q_SINGLE, NX).result is False
+    assert k_equivalent(Q_COLLAPSE, Q_DOUBLE, TPLUS).result is True

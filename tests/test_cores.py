@@ -1,0 +1,85 @@
+"""CQ cores and their relationship to semiring-aware minimization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import k_equivalent
+from repro.homomorphisms import are_isomorphic
+from repro.homomorphisms.cores import core_of, is_core, retracts
+from repro.optimize import minimize_cq
+from repro.queries import parse_cq
+from repro.queries.generators import random_cq
+from repro.semirings import B, NX
+
+
+def test_collapse_pair_core():
+    q = parse_cq("Q() :- R(u, v), R(u, w)")
+    core = core_of(q)
+    assert len(core.atoms) == 1
+    assert is_core(core)
+
+
+def test_path_into_loop_core():
+    """A path alongside a loop folds onto the loop."""
+    q = parse_cq("Q() :- E(x, y), E(y, z), E(w, w)")
+    core = core_of(q)
+    assert core == parse_cq("Q() :- E(w, w)")
+
+
+def test_rigid_query_is_its_own_core():
+    q = parse_cq("Q() :- E(x, y), F(y, x)")
+    assert core_of(q) == q
+    assert is_core(q)
+
+
+def test_head_variables_pin_the_core():
+    """Free variables cannot be folded away — but existentials can fold
+    onto them: z ↦ y retracts E(x,z) onto E(x,y)."""
+    q = parse_cq("Q(x, y) :- E(x, y), E(x, z)")
+    core = core_of(q)
+    assert core == parse_cq("Q(x, y) :- E(x, y)")
+    assert k_equivalent(q, core, B).result is True
+    # whereas a head variable pair cannot fold onto each other:
+    rigid = parse_cq("Q(x, y) :- E(x, y), E(y, x)")
+    assert core_of(rigid) == rigid
+
+
+def test_duplicates_removed():
+    q = parse_cq("Q() :- R(u, u), R(u, u)")
+    assert core_of(q) == parse_cq("Q() :- R(u, u)")
+    assert not is_core(q)
+
+
+def test_retracts_are_proper():
+    q = parse_cq("Q() :- R(u, v), R(u, w)")
+    for retract in retracts(q):
+        assert len(set(retract.atoms)) < len(set(q.atoms))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_core_equivalent_under_b(seed):
+    """The core is B-equivalent to the original query."""
+    query = random_cq(random.Random(seed), max_atoms=3, max_vars=3,
+                      head_arity=1)
+    core = core_of(query)
+    assert k_equivalent(query, core, B).result is True
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_core_matches_greedy_b_minimization(seed):
+    """Greedy equivalence-preserving deletion reaches a query of the
+    same size as the core (both are minimum under B)."""
+    query = random_cq(random.Random(100 + seed), max_atoms=3, max_vars=3)
+    core = core_of(query)
+    greedy = minimize_cq(query, B).query
+    assert len(set(greedy.atoms)) == len(core.atoms), (query, core, greedy)
+
+
+def test_core_unsound_over_provenance():
+    """The paper's warning: coring breaks N[X]-equivalence."""
+    q = parse_cq("Q() :- R(u, v), R(u, w)")
+    core = core_of(q)
+    assert k_equivalent(q, core, NX).result is False

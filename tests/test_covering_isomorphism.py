@@ -1,0 +1,124 @@
+"""Homomorphic covering (Sec. 4.1) and CCQ isomorphism machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.homomorphisms import (are_isomorphic, automorphism_count,
+                                 canonical_key, covered_atoms, covers,
+                                 isomorphism_classes)
+from repro.queries import parse_cq
+from repro.queries.generators import random_cq
+
+
+# --- covering -----------------------------------------------------------
+
+def test_covering_example_4_6():
+    """R(u,v),R(u,v) ⇉ R(u,v),R(u,w): two homs cover both atoms."""
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    assert covers(q2, q1)
+
+
+def test_covering_fails_on_unreachable_atom():
+    """A relation absent from the source can never be covered."""
+    target = parse_cq("Q() :- R(x, y), S(x)")
+    source = parse_cq("Q() :- R(u, v)")
+    assert not covers(source, target)
+    assert covered_atoms(source, target) == frozenset(
+        {parse_cq("Q() :- R(x, y), S(x)").atoms[0]})
+
+
+def test_covering_not_implied_by_single_hom():
+    """A hom exists but covers only part of the target."""
+    target = parse_cq("Q() :- E(x, y), E(y, z)")
+    source = parse_cq("Q() :- E(u, v)")
+    assert covers(source, target)   # two homs cover both atoms
+    source_rigid = parse_cq("Q() :- E(u, u)")
+    assert not covers(source_rigid, target)
+
+
+def test_surjective_implies_covering():
+    rng = random.Random(5)
+    from repro.homomorphisms import HomKind, has_homomorphism
+    for _ in range(15):
+        q1 = random_cq(rng, max_atoms=3, max_vars=3)
+        q2 = random_cq(rng, max_atoms=3, max_vars=3)
+        if has_homomorphism(q2, q1, HomKind.SURJECTIVE):
+            assert covers(q2, q1), (q1, q2)
+
+
+def test_covering_judges_atom_values_not_occurrences():
+    target = parse_cq("Q() :- R(x, x), R(x, x)")
+    source = parse_cq("Q() :- R(u, u)")
+    assert covers(source, target)
+
+
+# --- isomorphism ---------------------------------------------------------
+
+def test_isomorphic_renaming():
+    a = parse_cq("Q() :- R(u, v), u != v")
+    b = parse_cq("Q() :- R(s, t), s != t")
+    assert are_isomorphic(a, b)
+    assert canonical_key(a) == canonical_key(b)
+
+
+def test_not_isomorphic_different_structure():
+    a = parse_cq("Q() :- R(u, v), u != v")
+    b = parse_cq("Q() :- R(u, u)")
+    assert not are_isomorphic(a, b)
+
+
+def test_isomorphism_respects_head():
+    a = parse_cq("Q(x) :- R(x, y)")
+    b = parse_cq("Q(x) :- R(y, x)")
+    assert not are_isomorphic(a, b)
+    c = parse_cq("Q(z) :- R(z, w)")
+    assert are_isomorphic(a, c)
+
+
+def test_isomorphism_distinguishes_cq_from_ccq():
+    plain = parse_cq("Q() :- R(u, v)")
+    ccq = parse_cq("Q() :- R(u, v), u != v")
+    assert not are_isomorphic(plain, ccq)
+
+
+def test_isomorphism_random_renaming_invariance():
+    rng = random.Random(9)
+    for _ in range(20):
+        query = random_cq(rng, max_atoms=3, max_vars=3, head_arity=1)
+        renamed = query.rename_apart("_r")
+        assert are_isomorphic(query, renamed)
+
+
+# --- automorphisms -------------------------------------------------------
+
+def test_automorphism_counts():
+    assert automorphism_count(parse_cq("Q() :- R(u, v)")) == 1
+    # swapping u,v maps {R(u,v),R(v,u)} to itself
+    assert automorphism_count(parse_cq("Q() :- R(u, v), R(v, u)")) == 2
+    # a 3-clique of undirected-ish edges: all 3! permutations fix it
+    triangle = parse_cq(
+        "Q() :- E(a, b), E(b, a), E(b, c), E(c, b), E(a, c), E(c, a)")
+    assert automorphism_count(triangle) == 6
+    # head variables are fixed: no swap allowed
+    assert automorphism_count(parse_cq("Q(u) :- R(u, v), R(v, u)")) == 1
+
+
+def test_automorphism_single_variable():
+    assert automorphism_count(parse_cq("Q() :- R(u, u), R(u, u)")) == 1
+
+
+# --- isomorphism classes -------------------------------------------------
+
+def test_isomorphism_classes_grouping():
+    queries = [
+        parse_cq("Q() :- R(u, v), u != v"),
+        parse_cq("Q() :- R(a, b), a != b"),
+        parse_cq("Q() :- R(u, u)"),
+    ]
+    classes = isomorphism_classes(queries)
+    sizes = sorted(len(members) for members in classes.values())
+    assert sizes == [1, 2]

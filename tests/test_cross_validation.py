@@ -1,0 +1,130 @@
+"""Randomized cross-validation: every decision procedure against the
+semantic oracle, and the procedures against each other.
+
+This is the reproduction's strongest evidence: for each semiring with
+an exact Table-1 characterization, the syntactic decision must never be
+refuted semantically (soundness), and every refusal must be witnessed
+by a concrete annotated instance (completeness — the witnesses live on
+canonical instances, as the paper's proofs construct them).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import classify, decide_cq_containment, decide_ucq_containment
+from repro.oracle import find_counterexample
+from repro.queries.generators import random_cq, random_ucq
+from repro.semirings import (B, BX, LIN, LIN_X_N2, N2X, N3X, NX, POSBOOL,
+                             SORP, SSUR, TMINUS, TPLUS, TRIO, WHY)
+
+CQ_SEMIRINGS = [B, POSBOOL, LIN, SORP, WHY, TRIO, SSUR, NX, BX, N2X, TPLUS,
+                TMINUS]
+UCQ_SEMIRINGS = [B, LIN, LIN_X_N2, SORP, WHY, SSUR, NX, BX, N2X, N3X, TPLUS]
+
+
+def _cq_problems(seed: int, count: int):
+    rng = random.Random(seed)
+    return [
+        (random_cq(rng, max_atoms=3, max_vars=3),
+         random_cq(rng, max_atoms=3, max_vars=3))
+        for _ in range(count)
+    ]
+
+
+def _ucq_problems(seed: int, count: int):
+    rng = random.Random(seed)
+    return [
+        (random_ucq(rng, max_members=2, max_atoms=2, max_vars=2),
+         random_ucq(rng, max_members=2, max_atoms=2, max_vars=2))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("semiring", CQ_SEMIRINGS, ids=lambda s: s.name)
+def test_cq_decisions_match_oracle(semiring):
+    for q1, q2 in _cq_problems(1234, 25):
+        verdict = decide_cq_containment(q1, q2, semiring)
+        assert verdict.decided, (semiring.name, q1, q2)
+        witness = find_counterexample(q1, q2, semiring,
+                                      rng=random.Random(5), budget=700,
+                                      random_rounds=6)
+        if verdict.result:
+            assert witness is None, (semiring.name, q1, q2, witness)
+        else:
+            assert witness is not None, (semiring.name, q1, q2)
+
+
+@pytest.mark.parametrize("semiring", UCQ_SEMIRINGS, ids=lambda s: s.name)
+def test_ucq_decisions_match_oracle(semiring):
+    for q1, q2 in _ucq_problems(4321, 15):
+        verdict = decide_ucq_containment(q1, q2, semiring)
+        assert verdict.decided, (semiring.name, q1, q2)
+        witness = find_counterexample(q1, q2, semiring,
+                                      rng=random.Random(5), budget=600,
+                                      random_rounds=6)
+        if verdict.result:
+            assert witness is None, (semiring.name, q1, q2, witness)
+        else:
+            assert witness is not None, (semiring.name, q1, q2)
+
+
+def test_chom_members_agree_with_each_other():
+    """All Chom semirings share one containment relation (Thm. 3.3)."""
+    from repro.semirings import ACCESS, EVENTS, FUZZY
+    for q1, q2 in _cq_problems(77, 20):
+        answers = {
+            decide_cq_containment(q1, q2, K).result
+            for K in (B, POSBOOL, EVENTS, FUZZY, ACCESS)
+        }
+        assert len(answers) == 1, (q1, q2, answers)
+
+
+def test_small_model_agrees_with_hom_procedures_on_chom():
+    """B has both a hom characterization and a decidable poly order: the
+    two procedures must agree."""
+    from repro.core import small_model_contained
+    for q1, q2 in _cq_problems(55, 15):
+        by_hom = decide_cq_containment(q1, q2, B).result
+        by_model = small_model_contained(q1, q2, B)
+        assert by_hom == by_model, (q1, q2)
+
+
+def test_containment_transitive_where_decided():
+    """(C1): ⊆K is a preorder — check transitivity of positive verdicts."""
+    rng = random.Random(66)
+    queries = [random_cq(rng, max_atoms=2, max_vars=2) for _ in range(6)]
+    for K in (B, LIN, WHY, NX, TPLUS):
+        for qa in queries:
+            for qb in queries:
+                if not decide_cq_containment(qa, qb, K).result:
+                    continue
+                for qc in queries:
+                    if decide_cq_containment(qb, qc, K).result:
+                        assert decide_cq_containment(qa, qc, K).result, (
+                            K.name, qa, qb, qc)
+
+
+def test_union_monotonicity_c4():
+    """(C4): Q1 ⊆K Q2 implies Q1 ∪ Q3 ⊆K Q2 ∪ Q3."""
+    rng = random.Random(88)
+    for K in (B, LIN, NX, WHY):
+        for _ in range(10):
+            q1 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+            q2 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+            q3 = random_ucq(rng, max_members=1, max_atoms=2, max_vars=2)
+            if decide_ucq_containment(q1, q2, K).result:
+                extended = decide_ucq_containment(
+                    q1.union(q3), q2.union(q3), K)
+                assert extended.result, (K.name, q1, q2, q3)
+
+
+def test_cq_and_singleton_ucq_agree():
+    for K in (B, LIN, SORP, WHY, NX, TPLUS):
+        for q1, q2 in _cq_problems(99, 12):
+            from repro.queries import UCQ
+            cq_verdict = decide_cq_containment(q1, q2, K)
+            ucq_verdict = decide_ucq_containment(UCQ((q1,)), UCQ((q2,)), K)
+            assert cq_verdict.result == ucq_verdict.result, (K.name, q1, q2)

@@ -1,0 +1,135 @@
+"""Certificate checking, explanations, and the endomorphism lemma."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.explain import (Explanation, check_homomorphism_certificate,
+                                explain)
+from repro.homomorphisms import HomKind, find_homomorphism
+from repro.homomorphisms.isomorphism import endomorphisms, is_automorphism
+from repro.queries import Var, complete_description, parse_cq, parse_ucq
+from repro.queries.generators import random_cq
+from repro.semirings import B, N, NX, SORP, WHY
+
+
+# --- certificate checking -------------------------------------------------
+
+def test_valid_certificate_accepted():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    mapping = find_homomorphism(q2, q1, HomKind.PLAIN)
+    assert check_homomorphism_certificate(q2, q1, mapping, HomKind.PLAIN)
+
+
+def test_wrong_mapping_rejected():
+    q1 = parse_cq("Q() :- R(u, v)")
+    q2 = parse_cq("Q() :- R(x, y)")
+    bad = {Var("x"): Var("v"), Var("y"): Var("u")}   # reversed
+    assert not check_homomorphism_certificate(q2, q1, bad)
+
+
+def test_partial_mapping_rejected():
+    q1 = parse_cq("Q() :- R(u, v)")
+    q2 = parse_cq("Q() :- R(x, y)")
+    assert not check_homomorphism_certificate(q2, q1, {Var("x"): Var("u")})
+
+
+def test_head_violation_rejected():
+    q1 = parse_cq("Q(u) :- R(u, v)")
+    q2 = parse_cq("Q(x) :- R(x, y)")
+    bad = {Var("x"): Var("v"), Var("y"): Var("u")}
+    assert not check_homomorphism_certificate(q2, q1, bad)
+
+
+def test_kind_conditions_checked():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(x, y), R(x, y)")
+    mapping = find_homomorphism(q2, q1, HomKind.PLAIN)
+    assert check_homomorphism_certificate(q2, q1, mapping, HomKind.PLAIN)
+    assert not check_homomorphism_certificate(q2, q1, mapping,
+                                              HomKind.INJECTIVE)
+    assert not check_homomorphism_certificate(q2, q1, mapping,
+                                              HomKind.SURJECTIVE)
+
+
+@pytest.mark.parametrize("kind", list(HomKind), ids=lambda kind: kind.value)
+def test_search_results_always_check(kind):
+    rng = random.Random(13)
+    for _ in range(15):
+        q1 = random_cq(rng, max_atoms=3, max_vars=3)
+        q2 = random_cq(rng, max_atoms=3, max_vars=3)
+        mapping = find_homomorphism(q2, q1, kind)
+        if mapping is not None:
+            assert check_homomorphism_certificate(q2, q1, mapping, kind)
+
+
+# --- explanations -----------------------------------------------------------
+
+def test_explain_positive_with_certificate():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    explanation = explain(q1, q2, B)
+    assert explanation.verdict.result is True
+    assert explanation.certificate_valid is True
+    assert "certificate checked" in explanation.summary()
+
+
+def test_explain_negative_with_witness():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    explanation = explain(q1, q2, NX)
+    assert explanation.verdict.result is False
+    assert explanation.witness is not None
+    assert "witness found" in explanation.summary()
+
+
+def test_explain_undecided():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    explanation = explain(q1, q2, N)
+    assert explanation.verdict.result is None
+    assert "undecided" in explanation.summary()
+
+
+def test_explain_handles_ucq():
+    u1 = parse_ucq(["Q() :- R(u, u)"])
+    u2 = parse_ucq(["Q() :- R(u, v)", "Q() :- R(u, u)"])
+    explanation = explain(u1, u2, SORP)
+    assert explanation.verdict.result is True
+
+
+# --- the endomorphism lemma (Sec. 5.2) ---------------------------------------
+
+def test_ccq_endomorphisms_are_automorphisms():
+    """All endomorphisms of complete CCQs are automorphisms."""
+    rng = random.Random(99)
+    checked = 0
+    for _ in range(20):
+        query = random_cq(rng, max_atoms=3, max_vars=3)
+        for ccq in complete_description(query):
+            for mapping in endomorphisms(ccq):
+                assert is_automorphism(ccq, mapping), (ccq, mapping)
+                checked += 1
+    assert checked > 20  # the lemma was actually exercised
+
+
+def test_plain_cq_endomorphisms_can_collapse():
+    """Without inequalities a query CAN fold onto itself properly —
+    the contrast that makes complete descriptions useful."""
+    query = parse_cq("Q() :- R(u, v), R(u, w)")
+    collapsing = [
+        mapping for mapping in endomorphisms(query)
+        if not is_automorphism(query, mapping)
+    ]
+    assert collapsing  # e.g. w ↦ v
+
+
+def test_is_automorphism_checks_inequalities():
+    ccq = parse_cq("Q() :- R(u, v), R(v, u), u != v")
+    swap = {Var("u"): Var("v"), Var("v"): Var("u")}
+    assert is_automorphism(ccq, swap)
+    identity = {Var("u"): Var("u"), Var("v"): Var("v")}
+    assert is_automorphism(ccq, identity)

@@ -1,0 +1,169 @@
+"""Failure injection: the auditor must catch deliberately broken
+semirings and mis-declared classification flags.
+
+These tests defend the library's trust chain: the dispatcher believes
+the declared `SemiringProperties`, so the auditor has to be able to
+falsify wrong declarations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.semirings import (Semiring, SemiringProperties,
+                             audit_declared_axioms, audit_positivity,
+                             audit_semiring_laws)
+
+
+class BrokenDistributivity(Semiring):
+    """max/plus hybrid that violates distributivity."""
+
+    name = "broken-dist"
+    properties = SemiringProperties(offset=1, add_idempotent=True)
+
+    zero = property(lambda self: 0)
+    one = property(lambda self: 1)
+
+    def add(self, a, b):
+        return max(a, b)
+
+    def mul(self, a, b):
+        return a + b  # identity is 0, not 1 → law violations
+
+    def leq(self, a, b):
+        return a <= b
+
+    def sample(self, rng):
+        return rng.randint(0, 5)
+
+
+class WrongOrder(Semiring):
+    """Boolean algebra with a reversed (non-positive) order."""
+
+    name = "wrong-order"
+    properties = SemiringProperties(
+        mul_idempotent=True, one_annihilating=True, add_idempotent=True,
+        mul_semi_idempotent=True, offset=1)
+
+    zero = property(lambda self: False)
+    one = property(lambda self: True)
+
+    def add(self, a, b):
+        return a or b
+
+    def mul(self, a, b):
+        return a and b
+
+    def leq(self, a, b):
+        return (not b) or a  # reversed: 0 is now the top
+
+    def sample(self, rng):
+        return rng.random() < 0.5
+
+
+class OverclaimedIdempotence(Semiring):
+    """Bag semantics declaring ⊗-idempotence it does not have."""
+
+    name = "overclaimed"
+    properties = SemiringProperties(
+        mul_idempotent=True, mul_semi_idempotent=True, offset=2)
+
+    zero = property(lambda self: 0)
+    one = property(lambda self: 1)
+
+    def add(self, a, b):
+        return min(a + b, 2)
+
+    def mul(self, a, b):
+        return min(a * b, 3)  # inconsistent cap: 2·2 = 3 ≠ 2
+
+    def leq(self, a, b):
+        return a <= b
+
+    def sample(self, rng):
+        return rng.randint(0, 2)
+
+
+class UnderclaimedAnnihilation(Semiring):
+    """A lattice hiding its 1-annihilation (declared-False must be
+    falsified by finding NO violation)."""
+
+    name = "underclaimed"
+    properties = SemiringProperties(
+        mul_idempotent=True, one_annihilating=False, add_idempotent=True,
+        mul_semi_idempotent=True, offset=1)
+
+    zero = property(lambda self: 0)
+    one = property(lambda self: 3)
+
+    def add(self, a, b):
+        return max(a, b)
+
+    def mul(self, a, b):
+        return min(a, b)
+
+    def leq(self, a, b):
+        return a <= b
+
+    def sample(self, rng):
+        return rng.randint(0, 3)
+
+
+class WrongOffset(Semiring):
+    """Saturating at 3 but declaring offset 2."""
+
+    name = "wrong-offset"
+    properties = SemiringProperties(mul_semi_idempotent=True, offset=2)
+
+    zero = property(lambda self: 0)
+    one = property(lambda self: 1)
+
+    def add(self, a, b):
+        return min(a + b, 3)
+
+    def mul(self, a, b):
+        return min(a * b, 3)
+
+    def leq(self, a, b):
+        return a <= b
+
+    def sample(self, rng):
+        return rng.randint(0, 3)
+
+
+def test_laws_audit_catches_broken_distributivity():
+    report = audit_semiring_laws(BrokenDistributivity(), random.Random(1))
+    assert not report.ok
+
+
+def test_positivity_audit_catches_reversed_order():
+    report = audit_positivity(WrongOrder(), random.Random(2))
+    assert not report.ok
+
+
+def test_axiom_audit_catches_overclaimed_idempotence():
+    report = audit_declared_axioms(OverclaimedIdempotence(),
+                                   random.Random(3))
+    assert any("mul_idempotent" in failure for failure in report.failures)
+
+
+def test_axiom_audit_catches_underclaimed_annihilation():
+    report = audit_declared_axioms(UnderclaimedAnnihilation(),
+                                   random.Random(4))
+    assert any("one_annihilating" in failure for failure in report.failures)
+
+
+def test_axiom_audit_catches_wrong_offset():
+    report = audit_declared_axioms(WrongOffset(), random.Random(5))
+    assert any("offset" in failure for failure in report.failures)
+
+
+def test_properties_record_rejects_inconsistencies():
+    with pytest.raises(ValueError):
+        SemiringProperties(one_annihilating=True, add_idempotent=False)
+    with pytest.raises(ValueError):
+        SemiringProperties(add_idempotent=True, offset=2)
+    with pytest.raises(ValueError):
+        SemiringProperties(mul_idempotent=True, offset=3)

@@ -1,0 +1,96 @@
+"""Structural properties of the homomorphism search.
+
+Algebraic sanity laws that any correct containment-mapping engine must
+satisfy: identity, composition, kind-composition, and the interaction
+with query isomorphism.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.homomorphisms import (HomKind, are_isomorphic, find_homomorphism,
+                                 has_homomorphism, homomorphisms)
+from repro.queries import Var, parse_cq
+from repro.queries.generators import random_cq
+
+
+def _compose(inner: dict, outer: dict) -> dict:
+    """outer ∘ inner on variables (constants pass through)."""
+    composed = {}
+    for var, image in inner.items():
+        composed[var] = outer.get(image, image) if isinstance(image, Var) \
+            else image
+    return composed
+
+
+def _check(source, target, mapping) -> bool:
+    from repro.core.explain import check_homomorphism_certificate
+    return check_homomorphism_certificate(source, target, mapping)
+
+
+def test_identity_is_homomorphism():
+    rng = random.Random(1)
+    for _ in range(10):
+        query = random_cq(rng, max_atoms=3, max_vars=3)
+        identity = {var: var for var in query.variables()}
+        assert _check(query, query, identity)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_composition_is_homomorphism(seed):
+    """h : Q3→Q2 and g : Q2→Q1 compose to a hom Q3→Q1."""
+    rng = random.Random(seed)
+    q1 = random_cq(rng, max_atoms=3, max_vars=3)
+    q2 = random_cq(rng, max_atoms=3, max_vars=3)
+    q3 = random_cq(rng, max_atoms=2, max_vars=2)
+    g = find_homomorphism(q2, q1)
+    h = find_homomorphism(q3, q2)
+    if g is None or h is None:
+        return
+    assert _check(q3, q1, _compose(h, g))
+
+
+def test_surjective_compose_surjective():
+    q1 = parse_cq("Q() :- R(u, u)")
+    q2 = parse_cq("Q() :- R(x, x), R(x, y)")
+    q3 = parse_cq("Q() :- R(a, a), R(a, b), R(b, b)")
+    g = find_homomorphism(q2, q1, HomKind.SURJECTIVE)
+    h = find_homomorphism(q3, q2, HomKind.SURJECTIVE)
+    if g is not None and h is not None:
+        from repro.core.explain import check_homomorphism_certificate
+        assert check_homomorphism_certificate(
+            q3, q1, _compose(h, g), HomKind.SURJECTIVE)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_hom_existence_isomorphism_invariant(seed):
+    """Renaming either side never changes existence, for any kind."""
+    rng = random.Random(300 + seed)
+    q1 = random_cq(rng, max_atoms=2, max_vars=3)
+    q2 = random_cq(rng, max_atoms=2, max_vars=3)
+    q1_renamed = q1.rename_apart("_p")
+    q2_renamed = q2.rename_apart("_q")
+    assert are_isomorphic(q1, q1_renamed)
+    for kind in HomKind:
+        assert has_homomorphism(q2, q1, kind) == has_homomorphism(
+            q2_renamed, q1_renamed, kind), kind
+
+
+def test_hom_count_bounded_by_variable_images():
+    """|homs| ≤ |target terms| ^ |source existentials| — sanity bound."""
+    source = parse_cq("Q() :- R(x, y)")
+    target = parse_cq("Q() :- R(a, b), R(b, c)")
+    count = len(list(homomorphisms(source, target)))
+    assert 1 <= count <= 3 ** 2
+
+
+def test_isomorphic_queries_have_bijective_homs_both_ways():
+    rng = random.Random(9)
+    for _ in range(10):
+        query = random_cq(rng, max_atoms=3, max_vars=3)
+        renamed = query.rename_apart("_z")
+        assert has_homomorphism(query, renamed, HomKind.BIJECTIVE)
+        assert has_homomorphism(renamed, query, HomKind.BIJECTIVE)

@@ -1,0 +1,202 @@
+"""The four homomorphism kinds (Sec. 3.3–4.4) and their search."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.homomorphisms import (HomKind, find_homomorphism,
+                                 has_homomorphism, homomorphisms)
+from repro.queries import Var, parse_cq
+from repro.queries.generators import random_cq
+
+
+def hom(src, dst, kind=HomKind.PLAIN):
+    return has_homomorphism(parse_cq(src), parse_cq(dst), kind)
+
+
+# --- plain homomorphisms (Chandra–Merlin) -------------------------------
+
+def test_collapse_homomorphism():
+    assert hom("Q() :- R(x, y)", "Q() :- R(u, u)")
+    assert not hom("Q() :- R(x, x)", "Q() :- R(u, v)")
+
+
+def test_head_positional_matching():
+    assert hom("Q(x) :- R(x, y)", "Q(a) :- R(a, b)")
+    # head variable must land on the target head variable
+    assert not hom("Q(x) :- R(x, x)", "Q(a) :- R(a, b)")
+
+
+def test_head_repetition():
+    assert hom("Q(x, x) :- R(x, x)", "Q(a, a) :- R(a, a)")
+    assert not hom("Q(x, y) :- R(x, y)", "Q(a, a) :- R(a, a)") or True
+    # distinct source head vars may merge onto one target var:
+    assert hom("Q(x, y) :- R(x, y)", "Q(a, a) :- R(a, a)")
+
+
+def test_arity_mismatch_no_hom():
+    assert not hom("Q(x) :- R(x, x)", "Q() :- R(u, u)")
+
+
+def test_constants_must_match():
+    assert hom("Q() :- R(x, 'c')", "Q() :- R(u, 'c')")
+    assert not hom("Q() :- R(x, 'c')", "Q() :- R(u, 'd')")
+    # variables may map onto constants
+    assert hom("Q() :- R(x, y)", "Q() :- R(u, 'c')")
+
+
+def test_path_onto_cycle():
+    path = "Q() :- E(x, y), E(y, z)"
+    cycle = "Q() :- E(u, v), E(v, u)"
+    assert hom(path, cycle)
+    assert not hom(cycle, path)
+
+
+def test_mapping_is_returned():
+    mapping = find_homomorphism(parse_cq("Q() :- R(x, y)"),
+                                parse_cq("Q() :- R(u, u)"))
+    assert mapping == {Var("x"): Var("u"), Var("y"): Var("u")}
+
+
+def test_enumeration_deduplicates():
+    source = parse_cq("Q() :- R(x, y)")
+    target = parse_cq("Q() :- R(a, b), R(a, c)")
+    all_homs = list(homomorphisms(source, target))
+    assert len(all_homs) == 2
+    assert len({frozenset(h.items()) for h in all_homs}) == 2
+
+
+# --- injective homomorphisms (Sec. 4.2) ---------------------------------
+
+def test_injective_example_4_6():
+    """No injective hom from R(u,v),R(u,v) to R(u,v),R(u,w)."""
+    q1 = "Q() :- R(u, v), R(u, w)"
+    q2 = "Q() :- R(u, v), R(u, v)"
+    assert hom(q2, q1, HomKind.PLAIN)
+    assert not hom(q2, q1, HomKind.INJECTIVE)
+
+
+def test_injective_into_duplicates():
+    """Duplicate target atoms provide capacity for duplicate images."""
+    q_target = "Q() :- R(u, v), R(u, v)"
+    q_source = "Q() :- R(x, y), R(x, y)"
+    assert hom(q_source, q_target, HomKind.INJECTIVE)
+
+
+def test_injective_needs_capacity():
+    q_source = "Q() :- R(x, y), R(x, y), R(x, y)"
+    q_target = "Q() :- R(u, v), R(u, v)"
+    assert not hom(q_source, q_target, HomKind.INJECTIVE)
+
+
+def test_injective_distinct_images():
+    assert hom("Q() :- R(x, y), S(y)", "Q() :- R(a, b), S(b), S(c)",
+               HomKind.INJECTIVE)
+
+
+# --- surjective homomorphisms (Sec. 4.4) --------------------------------
+
+def test_surjective_covers_all_occurrences():
+    # source has 2 atoms, target 1: both map onto it — onto holds.
+    assert hom("Q() :- R(x, x), R(y, y)", "Q() :- R(u, u)",
+               HomKind.SURJECTIVE)
+    # target has two occurrences, source only one atom: impossible.
+    assert not hom("Q() :- R(x, x)", "Q() :- R(u, u), R(u, u)",
+                   HomKind.SURJECTIVE)
+
+
+def test_surjective_needs_all_atom_values():
+    q1 = "Q() :- R(u, v), R(u, w)"   # two distinct atoms
+    q2 = "Q() :- R(x, y), R(x, y)"   # collapses to one image atom
+    assert not hom(q2, q1, HomKind.SURJECTIVE)
+    q3 = "Q() :- R(x, y), R(x, z)"
+    assert hom(q3, q1, HomKind.SURJECTIVE)
+
+
+# --- bijective homomorphisms (Sec. 4.3) ---------------------------------
+
+def test_bijective_is_exact():
+    q = "Q() :- R(x, y), R(y, x)"
+    assert hom(q, "Q() :- R(a, b), R(b, a)", HomKind.BIJECTIVE)
+    assert not hom(q, "Q() :- R(a, b)", HomKind.BIJECTIVE)
+    assert not hom("Q() :- R(x, y)", "Q() :- R(a, b), R(b, a)",
+                   HomKind.BIJECTIVE)
+
+
+def test_bijective_respects_multiplicity():
+    assert hom("Q() :- R(x, y), R(x, y)", "Q() :- R(a, b), R(a, b)",
+               HomKind.BIJECTIVE)
+    assert not hom("Q() :- R(x, y), R(x, y)", "Q() :- R(a, b), R(a, c)",
+                   HomKind.BIJECTIVE)
+
+
+def test_bijective_collapse_onto_duplicates():
+    """Distinct source atoms may collapse onto duplicated target
+    occurrences: the multiset image {R(a,b), R(a,b)} matches exactly."""
+    assert hom("Q() :- R(x, y), R(x, z)", "Q() :- R(a, b), R(a, b)",
+               HomKind.BIJECTIVE)
+
+
+# --- relationships between the kinds ------------------------------------
+
+@pytest.mark.parametrize("seed", range(12))
+def test_bijective_iff_injective_and_surjective_exists(seed):
+    """Per-mapping: h bijective ⟺ h injective ∧ h surjective.  We verify
+    it on the searchable level for random pairs by checking each
+    enumerated bijective mapping is found by both other modes."""
+    rng = random.Random(seed)
+    source = random_cq(rng, max_atoms=3, max_vars=3)
+    target = random_cq(rng, max_atoms=3, max_vars=3)
+    bijective = {frozenset(h.items())
+                 for h in homomorphisms(source, target, HomKind.BIJECTIVE)}
+    injective = {frozenset(h.items())
+                 for h in homomorphisms(source, target, HomKind.INJECTIVE)}
+    surjective = {frozenset(h.items())
+                  for h in homomorphisms(source, target, HomKind.SURJECTIVE)}
+    assert bijective == injective & surjective
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_refinements_imply_plain(seed):
+    rng = random.Random(100 + seed)
+    source = random_cq(rng, max_atoms=3, max_vars=3)
+    target = random_cq(rng, max_atoms=3, max_vars=3)
+    plain = {frozenset(h.items())
+             for h in homomorphisms(source, target, HomKind.PLAIN)}
+    for kind in (HomKind.INJECTIVE, HomKind.SURJECTIVE, HomKind.BIJECTIVE):
+        refined = {frozenset(h.items())
+                   for h in homomorphisms(source, target, kind)}
+        assert refined <= plain
+
+
+# --- inequality preservation (CCQ homomorphisms) ------------------------
+
+def test_ccq_hom_requires_target_inequality():
+    source = parse_cq("Q() :- R(x, y), x != y")
+    good = parse_cq("Q() :- R(a, b), a != b")
+    bad = parse_cq("Q() :- R(a, b)")
+    assert has_homomorphism(source, good)
+    assert not has_homomorphism(source, bad)
+
+
+def test_ccq_hom_cannot_collapse_unequal_pair():
+    source = parse_cq("Q() :- R(x, y), x != y")
+    target = parse_cq("Q() :- R(a, a)")
+    assert not has_homomorphism(source, target)
+
+
+def test_plain_source_into_ccq_target():
+    """A source without inequalities may map anywhere."""
+    source = parse_cq("Q() :- R(x, y)")
+    target = parse_cq("Q() :- R(a, b), a != b")
+    assert has_homomorphism(source, target)
+
+
+def test_ccq_inequality_to_constants():
+    source = parse_cq("Q() :- R(x, y), x != y")
+    target = parse_cq("Q() :- R('c', 'd')")
+    assert has_homomorphism(source, target)
+    clash = parse_cq("Q() :- R('c', 'c')")
+    assert not has_homomorphism(source, clash)

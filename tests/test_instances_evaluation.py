@@ -1,0 +1,201 @@
+"""K-instances, canonical instances and query evaluation semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data import Instance, canonical_instance
+from repro.polynomials import Polynomial
+from repro.queries import (UCQ, evaluate, evaluate_all, parse_cq, parse_ucq,
+                           valuations, Var)
+from repro.semirings import ACCESS, B, N, NX, TPLUS, WHY
+
+
+# --- Instance ----------------------------------------------------------
+
+def test_instance_drops_zeros():
+    instance = Instance(N, {"R": {(1, 2): 0, (1, 3): 5}})
+    assert instance.fact_count() == 1
+    assert instance.annotation("R", (1, 2)) == 0
+    assert instance.annotation("R", (1, 3)) == 5
+    assert instance.annotation("Missing", (9,)) == 0
+
+
+def test_instance_arity_check():
+    with pytest.raises(ValueError):
+        Instance(N, {"R": {(1, 2): 1, (1,): 1}})
+
+
+def test_instance_from_facts_accumulates():
+    instance = Instance.from_facts(N, [("R", (1,), 2), ("R", (1,), 3)])
+    assert instance.annotation("R", (1,)) == 5
+
+
+def test_instance_with_fact():
+    base = Instance(N, {"R": {(1,): 1}})
+    extended = base.with_fact("R", (1,), 2)
+    assert base.annotation("R", (1,)) == 1       # base untouched
+    assert extended.annotation("R", (1,)) == 3
+
+
+def test_active_domain():
+    instance = Instance(N, {"R": {(1, 2): 1}, "S": {("a",): 1}})
+    assert instance.active_domain() == frozenset({1, 2, "a"})
+
+
+def test_map_annotations():
+    instance = Instance(NX, {"R": {(1,): NX.var("x")}})
+    mapped = instance.map_annotations(N, lambda p: p.eval_in(N, {"x": 4}))
+    assert mapped.annotation("R", (1,)) == 4
+    assert mapped.semiring is N
+
+
+# --- evaluation: bag counting (the SQL story) ---------------------------
+
+def test_bag_count_join():
+    """Q(x) :- R(x,y), S(y): multiplicities multiply and sum."""
+    instance = Instance(N, {
+        "R": {("a", "b"): 2, ("a", "c"): 1},
+        "S": {("b",): 3, ("c",): 5},
+    })
+    q = parse_cq("Q(x) :- R(x, y), S(y)")
+    assert evaluate(q, instance, ("a",)) == 2 * 3 + 1 * 5
+    assert evaluate(q, instance, ("zzz",)) == 0
+
+
+def test_duplicate_atom_squares():
+    """A duplicated atom multiplies its annotation twice (multiset!)."""
+    instance = Instance(N, {"R": {("a",): 3}})
+    q1 = parse_cq("Q() :- R(x)")
+    q2 = parse_cq("Q() :- R(x), R(x)")
+    assert evaluate(q1, instance, ()) == 3
+    assert evaluate(q2, instance, ()) == 9
+
+
+def test_boolean_evaluation_is_satisfaction():
+    instance = Instance(B, {"R": {("a", "b"): True}})
+    q = parse_cq("Q() :- R(x, y)")
+    assert evaluate(q, instance, ()) is True
+    q_selfjoin = parse_cq("Q() :- R(x, x)")
+    assert evaluate(q_selfjoin, instance, ()) is False
+
+
+def test_tropical_evaluation_minimizes_cost():
+    instance = Instance(TPLUS, {
+        "F": {("e", "l"): 60, ("l", "p"): 80, ("e", "p"): 190},
+    })
+    q = parse_cq("Q(x, z) :- F(x, y), F(y, z)")
+    assert evaluate(q, instance, ("e", "p")) == 140
+    direct = parse_cq("Q(x, z) :- F(x, z)")
+    both = UCQ((q, direct))
+    assert evaluate(both, instance, ("e", "p")) == 140
+
+
+def test_why_provenance_collects_witnesses():
+    instance = Instance(WHY, {
+        "R": {("a",): WHY.var("t1"), ("b",): WHY.var("t2")},
+        "S": {("a",): WHY.var("t3")},
+    })
+    q = parse_cq("Q() :- R(x), S(x)")
+    assert evaluate(q, instance, ()) == frozenset({
+        frozenset({"t1", "t3"})})
+
+
+def test_access_clearance_join():
+    level = ACCESS.level
+    instance = Instance(ACCESS, {
+        "E": {("ada", "eng"): level("public")},
+        "P": {("eng", "bridge"): level("secret")},
+    })
+    q = parse_cq("Q(n) :- E(n, d), P(d, p)")
+    assert evaluate(q, instance, ("ada",)) == level("secret")
+
+
+def test_constants_in_query():
+    instance = Instance(N, {"R": {("a", "b"): 2, ("c", "b"): 7}})
+    q = parse_cq("Q() :- R('a', y)")
+    assert evaluate(q, instance, ()) == 2
+
+
+def test_repeated_head_variable():
+    instance = Instance(N, {"R": {("a", "a"): 2, ("a", "b"): 5}})
+    q = parse_cq("Q(x, x) :- R(x, x)")
+    assert evaluate(q, instance, ("a", "a")) == 2
+    assert evaluate(q, instance, ("a", "b")) == 0
+
+
+def test_empty_ucq_evaluates_to_zero():
+    instance = Instance(N, {"R": {("a",): 1}})
+    assert evaluate(UCQ(()), instance, ()) == 0
+
+
+def test_ucq_sums_members():
+    instance = Instance(N, {"R": {("a",): 2}, "S": {("a",): 3}})
+    u = parse_ucq(["Q() :- R(x)", "Q() :- S(x)"])
+    assert evaluate(u, instance, ()) == 5
+
+
+def test_inequalities_filter_valuations():
+    instance = Instance(N, {"R": {("a", "a"): 3, ("a", "b"): 5}})
+    plain = parse_cq("Q() :- R(x, y)")
+    ccq = parse_cq("Q() :- R(x, y), x != y")
+    assert evaluate(plain, instance, ()) == 8
+    assert evaluate(ccq, instance, ()) == 5
+
+
+def test_evaluate_all():
+    instance = Instance(N, {"R": {("a", "b"): 2, ("c", "b"): 1}})
+    q = parse_cq("Q(x) :- R(x, y)")
+    assert evaluate_all(q, instance) == {("a",): 2, ("c",): 1}
+
+
+def test_target_arity_mismatch():
+    instance = Instance(N, {"R": {("a",): 1}})
+    q = parse_cq("Q(x) :- R(x)")
+    with pytest.raises(ValueError):
+        evaluate(q, instance, ("a", "b"))
+
+
+def test_valuations_enumeration():
+    instance = Instance(N, {"R": {("a", "b"): 1, ("b", "b"): 1}})
+    q = parse_cq("Q() :- R(x, y)")
+    found = {tuple(sorted((k.name, v) for k, v in m.items()))
+             for m in valuations(q, instance, ())}
+    assert found == {
+        (("x", "a"), ("y", "b")),
+        (("x", "b"), ("y", "b")),
+    }
+
+
+# --- canonical instances (Ex. 4.6 continued) ----------------------------
+
+def test_canonical_instance_tags_unique():
+    q = parse_cq("Q() :- R(u, v), R(u, w)")
+    tagged = canonical_instance(q)
+    assert tagged.tag_names == ("z1", "z2")
+    u, v, w = Var("u"), Var("v"), Var("w")
+    assert tagged.instance.annotation("R", (u, v)) == Polynomial.variable("z1")
+    assert tagged.instance.annotation("R", (u, w)) == Polynomial.variable("z2")
+
+
+def test_canonical_instance_duplicate_atoms_sum():
+    """⟦Q12⟧ of Ex. 4.6: duplicated atom is annotated x1 + x2."""
+    q12 = parse_cq("Q() :- R(u, v), R(u, v), u != v")
+    tagged = canonical_instance(q12)
+    u, v = Var("u"), Var("v")
+    assert tagged.instance.annotation("R", (u, v)) == (
+        Polynomial.variable("z1") + Polynomial.variable("z2"))
+
+
+def test_canonical_evaluation_matches_paper():
+    """Q1^⟦Q11⟧ = x1² + 2x1x2 + x2², Q2^⟦Q11⟧ = x1² + x2²."""
+    q11 = parse_cq("Q() :- R(u, v), R(u, w), u != v, u != w, v != w")
+    tagged = canonical_instance(q11)
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    assert evaluate(q1, tagged.instance, (), NX) == Polynomial.parse_terms(
+        [(1, ("z1", "z1")), (2, ("z1", "z2")), (1, ("z2", "z2"))])
+    assert evaluate(q2, tagged.instance, (), NX) == Polynomial.parse_terms(
+        [(1, ("z1", "z1")), (1, ("z2", "z2"))])

@@ -1,0 +1,68 @@
+"""Normal forms: equivalent queries normalize identically (Chom)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import k_equivalent
+from repro.homomorphisms.isomorphism import canonical_rename
+from repro.optimize.normalize import normalize_cq, normalize_ucq
+from repro.queries import UCQ, parse_cq, parse_ucq
+from repro.queries.generators import random_cq
+from repro.semirings import B, LIN, NX
+
+
+def test_canonical_rename_equalizes_isomorphic():
+    a = parse_cq("Q(x) :- R(x, y), S(y)")
+    b = parse_cq("Q(x) :- R(x, w), S(w)")
+    assert a != b
+    assert canonical_rename(a) == canonical_rename(b)
+
+
+def test_canonical_rename_preserves_head():
+    q = parse_cq("Q(x) :- R(x, y)")
+    renamed = canonical_rename(q)
+    assert renamed.head == q.head
+
+
+def test_normalize_cq_b():
+    messy = parse_cq("Q(x) :- R(x, u), R(x, v), R(x, w)")
+    tidy = parse_cq("Q(x) :- R(x, z)")
+    assert normalize_cq(messy, B) == normalize_cq(tidy, B)
+
+
+def test_normalize_preserves_equivalence():
+    rng = random.Random(404)
+    for semiring in (B, LIN, NX):
+        for _ in range(8):
+            query = random_cq(rng, max_atoms=3, max_vars=3, head_arity=1)
+            normal = normalize_cq(query, semiring)
+            assert k_equivalent(query, normal, semiring).result is True
+
+
+def test_normalize_ucq_chom_is_canonical():
+    """B-equivalent unions collapse to the same literal UCQ."""
+    u1 = parse_ucq([
+        "Q(x) :- R(x, y)",
+        "Q(x) :- R(x, y), R(x, z)",      # subsumed
+        "Q(x) :- R(x, x)",               # subsumed by R(x, y)
+    ])
+    u2 = parse_ucq(["Q(x) :- R(x, w)"])
+    assert normalize_ucq(u1, B) == normalize_ucq(u2, B)
+
+
+def test_normalize_ucq_respects_multiplicity_over_nx():
+    q = parse_cq("Q() :- R(u, u)")
+    doubled = UCQ((q, q))
+    assert len(normalize_ucq(doubled, NX)) == 2
+    assert len(normalize_ucq(doubled, B)) == 1
+
+
+def test_normalize_idempotent():
+    u = parse_ucq(["Q(x) :- R(x, y), R(x, z)", "Q(x) :- S(x), S(x)"])
+    for semiring in (B, LIN, NX):
+        once = normalize_ucq(u, semiring)
+        twice = normalize_ucq(once, semiring)
+        assert once == twice, semiring.name

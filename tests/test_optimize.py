@@ -1,0 +1,105 @@
+"""Semiring-aware minimization and redundancy elimination —
+the paper's query-optimization motivation made executable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimize import eliminate_redundant_members, minimize_cq
+from repro.queries import UCQ, parse_cq, parse_ucq
+from repro.queries.evaluation import evaluate
+from repro.data import Instance
+from repro.semirings import B, BX, LIN, N, NX, TPLUS, WHY
+
+
+def test_core_minimization_under_set_semantics():
+    q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    result = minimize_cq(q, B)
+    assert result.removed == 1
+    assert len(result.query.atoms) == 1
+    assert not result.minimal
+    assert result.steps[0] == q
+
+
+def test_no_minimization_under_provenance():
+    q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    result = minimize_cq(q, NX)
+    assert result.minimal
+    assert result.query == q
+
+
+def test_lineage_minimization_between_extremes():
+    """Over Lin[X], R(x,y),R(x,z) ⇉-covers R(x,y) and vice versa, so the
+    self-join IS redundant; but a genuinely informative atom is not."""
+    q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    assert minimize_cq(q, LIN).removed == 1
+    q_rs = parse_cq("Q(x) :- R(x, y), S(x)")
+    assert minimize_cq(q_rs, LIN).minimal
+
+
+def test_tropical_minimization_keeps_cost_structure():
+    """T+ is not ⊗-idempotent: the duplicated join doubles the cost
+    (2·min ≠ min), so — unlike set semantics — nothing is removed."""
+    q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    assert minimize_cq(q, TPLUS).minimal
+
+
+def test_bag_minimization_is_conservative():
+    """Under N the equivalence is undecided for the collapse pair, so
+    minimization must keep the atoms (sound, conservative)."""
+    q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+    result = minimize_cq(q, N)
+    assert result.minimal
+
+
+def test_minimization_preserves_semantics():
+    q = parse_cq("Q(x) :- R(x, y), R(x, z), R(x, x)")
+    minimized = minimize_cq(q, B).query
+    instance = Instance(B, {"R": {("a", "a"): True, ("a", "b"): True,
+                                  ("b", "a"): True}})
+    for target in [("a",), ("b",), ("c",)]:
+        assert evaluate(q, instance, target) == evaluate(
+            minimized, instance, target)
+
+
+def test_head_variables_protected():
+    q = parse_cq("Q(x, y) :- R(x, y), R(x, x)")
+    result = minimize_cq(q, B)
+    # the R(x,y) atom binds y and must survive
+    assert any(v.name == "y"
+               for atom in result.query.atoms for v in atom.variables())
+
+
+# --- UCQ redundancy ---------------------------------------------------------
+
+def test_redundant_member_dropped_under_b():
+    u = parse_ucq(["Q() :- R(x, y)", "Q() :- R(x, x)"])
+    result = eliminate_redundant_members(u, B)
+    assert len(result.query) == 1
+    assert result.removed
+    # the specialized member R(x,x) is subsumed by R(x,y)
+    assert result.query.cqs[0] == parse_cq("Q() :- R(x, y)")
+
+
+def test_duplicates_dropped_only_with_idempotence():
+    q = parse_cq("Q() :- R(x, x)")
+    u = UCQ((q, q))
+    assert len(eliminate_redundant_members(u, BX).query) == 1
+    assert len(eliminate_redundant_members(u, NX).query) == 2
+
+
+def test_why_redundancy():
+    u = parse_ucq(["Q() :- R(x, y)", "Q() :- R(x, y), R(x, y)"])
+    result = eliminate_redundant_members(u, WHY)
+    assert len(result.query) == 1
+
+
+def test_bag_redundancy_conservative():
+    u = parse_ucq(["Q() :- R(x, y)", "Q() :- R(x, x)"])
+    result = eliminate_redundant_members(u, N)
+    assert result.minimal  # undecided equivalences keep members
+
+
+def test_redundancy_result_minimal_flag():
+    u = parse_ucq(["Q() :- R(x, y)"])
+    assert eliminate_redundant_members(u, B).minimal

@@ -1,0 +1,91 @@
+"""The brute-force oracle and the Verdict type."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Undecided, Verdict
+from repro.oracle import Counterexample, find_counterexample, refutes
+from repro.queries import UCQ, evaluate, parse_cq, parse_ucq
+from repro.semirings import B, N, NX, SORP, TPLUS
+
+
+# --- oracle -------------------------------------------------------------
+
+def test_finds_counterexample_for_bag_noncontainment():
+    q1 = parse_cq("Q() :- R(u, u), R(u, u)")
+    q2 = parse_cq("Q() :- R(u, u)")
+    witness = find_counterexample(q1, q2, N)
+    assert witness is not None
+    # the witness is checkable: evaluating confirms the violation
+    lhs = evaluate(q1, witness.instance, witness.target)
+    rhs = evaluate(q2, witness.instance, witness.target)
+    assert not N.leq(lhs, rhs)
+    assert lhs == witness.lhs and rhs == witness.rhs
+
+
+def test_silent_on_containment():
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v)")
+    assert find_counterexample(q1, q2, B) is None
+    assert not refutes(q1, q2, B)
+
+
+def test_empty_union_never_refuted():
+    q2 = parse_ucq(["Q() :- R(u, u)"])
+    assert find_counterexample(UCQ(()), q2, N) is None
+
+
+def test_generic_valuation_catches_sorp_violations():
+    """The Nin witness needs all-distinct tags: the generic valuation
+    pass finds it even with a tiny sample pool."""
+    q1 = parse_cq("Q() :- R(u, v), R(u, w)")
+    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    witness = find_counterexample(q1, q2, SORP, pool_size=2, budget=1,
+                                  random_rounds=0)
+    assert witness is not None
+    assert witness.source.startswith("canonical")
+
+
+def test_counterexample_repr():
+    q1 = parse_cq("Q() :- R(u, u), R(u, u)")
+    q2 = parse_cq("Q() :- R(u, u)")
+    witness = find_counterexample(q1, q2, N)
+    assert "⋠" in repr(witness)
+
+
+def test_random_search_fallback():
+    """With the canonical budget starved, the random phase still finds
+    simple violations."""
+    q1 = parse_cq("Q() :- R(u, u), R(u, u)")
+    q2 = parse_cq("Q() :- R(u, u)")
+    witness = find_counterexample(q1, q2, N, rng=random.Random(1),
+                                  pool_size=2, budget=0, random_rounds=60)
+    assert witness is not None
+
+
+# --- Verdict --------------------------------------------------------------
+
+def test_verdict_unwrap():
+    assert Verdict(True, "m").unwrap() is True
+    assert Verdict(False, "m").unwrap() is False
+    with pytest.raises(Undecided):
+        Verdict(None, "bounds-only").unwrap()
+
+
+def test_verdict_decided_flag():
+    assert Verdict(True, "m").decided
+    assert not Verdict(None, "m").decided
+
+
+def test_verdict_refuses_boolean_coercion():
+    with pytest.raises(TypeError):
+        bool(Verdict(True, "m"))
+
+
+def test_verdict_is_frozen():
+    verdict = Verdict(True, "m")
+    with pytest.raises(Exception):
+        verdict.result = False

@@ -1,0 +1,78 @@
+"""The Datalog-style query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import (CQ, Atom, CQWithInequalities, ParseError, Var,
+                           parse_cq, parse_ucq)
+
+
+def test_parse_simple():
+    q = parse_cq("Q(x) :- R(x, y), S(y)")
+    assert q.head == (Var("x"),)
+    assert set(q.atoms) == {Atom("R", (Var("x"), Var("y"))),
+                            Atom("S", (Var("y"),))}
+    assert not isinstance(q, CQWithInequalities)
+
+
+def test_parse_boolean_query():
+    q = parse_cq("Q() :- R(x, x)")
+    assert q.arity == 0
+    assert q.atoms == (Atom("R", (Var("x"), Var("x"))),)
+
+
+def test_parse_constants():
+    q = parse_cq("Q(x) :- R(x, 'berlin'), S(7)")
+    assert Atom("R", (Var("x"), "berlin")) in q.atoms
+    assert Atom("S", (7,)) in q.atoms
+
+
+def test_parse_negative_number():
+    q = parse_cq("Q() :- S(-3), S(x)")
+    assert Atom("S", (-3,)) in q.atoms
+
+
+def test_parse_inequalities():
+    q = parse_cq("Q() :- R(u, v), R(u, w), u != v, v != w")
+    assert isinstance(q, CQWithInequalities)
+    assert frozenset((Var("u"), Var("v"))) in q.inequalities
+    assert len(q.inequalities) == 2
+
+
+def test_parse_duplicate_atoms_kept():
+    q = parse_cq("Q() :- R(x, y), R(x, y)")
+    assert len(q.atoms) == 2
+
+
+def test_parse_ucq():
+    u = parse_ucq(["Q(x) :- R(x, x)", "Q(y) :- S(y)"])
+    assert len(u) == 2
+    assert u.arity == 1
+
+
+def test_parse_whitespace_robust():
+    q = parse_cq("  Q( x )  :-   R( x ,  y ) ")
+    assert q.head == (Var("x"),)
+
+
+@pytest.mark.parametrize("text", [
+    "Q(x)",                       # no body
+    "Q(x) :- ",                   # empty body
+    "Q(x) :- R(x,",               # unclosed paren
+    "(x) :- R(x)",                # missing head name
+    "Q(x) :- R(x) extra",         # trailing garbage
+    "Q('c') :- R(x)",             # constant in head
+    "Q(x) :- x != 3",             # inequality with constant
+    "Q(x) :- R(x) ;",             # untokenizable character
+])
+def test_parse_errors(text):
+    with pytest.raises(ParseError):
+        parse_cq(text)
+
+
+def test_roundtrip_through_repr_style():
+    """parse(text) equals the manually constructed query."""
+    manual = CQ((Var("x"),),
+                (Atom("R", (Var("x"), Var("y"))), Atom("S", (Var("y"),))))
+    assert parse_cq("Q(x) :- R(x, y), S(y)") == manual

@@ -1,0 +1,106 @@
+"""Polynomial-order decisions beyond the tropical pair.
+
+``Lin[X]``, ``Sorp[X]``, ``PosBool[X]``, ``B``, the finite lattices and
+Viterbi all implement ``poly_leq``, which gives them a *second*,
+independent decision procedure (the small model, Thm. 4.17).  These
+tests check the order decisions directly and the agreement of the two
+procedures — the strongest internal-consistency evidence the library
+has.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (decide_cq_containment, decide_ucq_containment,
+                        small_model_contained)
+from repro.polynomials import Polynomial
+from repro.queries.generators import random_cq, random_ucq
+from repro.semirings import (ACCESS, B, EVENTS, FUZZY, LIN, POSBOOL, SORP,
+                             VITERBI, N2_SATURATING)
+
+
+def poly(terms):
+    return Polynomial.parse_terms(terms)
+
+
+# --- direct order checks ---------------------------------------------------
+
+def test_lin_poly_order():
+    # x ≼ x + y (more lineage) and x·y = x + y in Lin: products are unions.
+    assert LIN.poly_leq(poly([(1, "x")]), poly([(1, "x"), (1, "y")]))
+    assert LIN.poly_leq(poly([(1, "xy")]), poly([(1, "x"), (1, "y")]))
+    # the converse fails: y ↦ ⊥ kills the product but not the sum.
+    assert not LIN.poly_leq(poly([(1, "x"), (1, "y")]), poly([(1, "xy")]))
+    # and xy ⋠ x alone: y ↦ • gives lineage on the left only.
+    assert not LIN.poly_leq(poly([(1, "xy")]), poly([(1, "x")]))
+
+
+def test_lin_poly_order_bottom_patterns():
+    """x ≼ xy fails: valuating y ↦ ⊥ kills the right side."""
+    assert not LIN.poly_leq(poly([(1, "x")]), poly([(1, "xy")]))
+    assert LIN.poly_leq(Polynomial.zero(), poly([(1, "x")]))
+    assert not LIN.poly_leq(poly([(1, "x")]), Polynomial.zero())
+
+
+def test_sorp_poly_order_divisibility():
+    # x² ≼ x (x divides x²: absorption), but x ⋠ x².
+    assert SORP.poly_leq(poly([(1, "xx")]), poly([(1, "x")]))
+    assert not SORP.poly_leq(poly([(1, "x")]), poly([(1, "xx")]))
+    # coefficients are absorbed entirely.
+    assert SORP.poly_leq(poly([(3, "xy")]), poly([(1, "xy")]))
+
+
+def test_posbool_poly_order_lattice():
+    assert POSBOOL.poly_leq(poly([(1, "xy")]), poly([(1, "x")]))
+    assert not POSBOOL.poly_leq(poly([(1, "x")]), poly([(1, "xy")]))
+    assert POSBOOL.poly_leq(poly([(1, "x")]), poly([(1, "x"), (1, "y")]))
+
+
+def test_viterbi_poly_order_matches_tropical_example():
+    left = poly([(1, "xx"), (2, "xy"), (1, "yy")])
+    right = poly([(1, "xx"), (1, "yy")])
+    assert VITERBI.poly_leq(left, right)
+    assert VITERBI.poly_leq(right, left)
+
+
+def test_finite_semiring_poly_orders():
+    x_square = poly([(1, "xx")])
+    x = poly([(1, "x")])
+    # ⊗-idempotent lattices: x² = x.
+    for semiring in (B, FUZZY, EVENTS, ACCESS):
+        assert semiring.poly_leq(x_square, x), semiring.name
+        assert semiring.poly_leq(x, x_square), semiring.name
+    # saturating N₂: x² = x numerically on {0,1,2} as well.
+    assert N2_SATURATING.poly_leq(x_square, x)
+    assert N2_SATURATING.poly_leq(x, x_square)
+    # but 2x ≠ x over N₂ (offset 2, not ⊕-idempotent):
+    assert not N2_SATURATING.poly_leq(poly([(2, "x")]), x)
+
+
+# --- the two independent procedures agree ----------------------------------
+
+@pytest.mark.parametrize("semiring", [B, POSBOOL, LIN, SORP],
+                         ids=lambda s: s.name)
+def test_small_model_agrees_with_hom_procedure_cq(semiring):
+    rng = random.Random(314)
+    for _ in range(20):
+        q1 = random_cq(rng, max_atoms=3, max_vars=3)
+        q2 = random_cq(rng, max_atoms=3, max_vars=3)
+        by_class = decide_cq_containment(q1, q2, semiring).result
+        by_model = small_model_contained(q1, q2, semiring)
+        assert by_class == by_model, (semiring.name, q1, q2)
+
+
+@pytest.mark.parametrize("semiring", [B, LIN, SORP],
+                         ids=lambda s: s.name)
+def test_small_model_agrees_with_hom_procedure_ucq(semiring):
+    rng = random.Random(2718)
+    for _ in range(10):
+        q1 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+        q2 = random_ucq(rng, max_members=2, max_atoms=2, max_vars=2)
+        by_class = decide_ucq_containment(q1, q2, semiring).result
+        by_model = small_model_contained(q1, q2, semiring)
+        assert by_class == by_model, (semiring.name, q1, q2)

@@ -1,0 +1,164 @@
+"""Monomial / Polynomial arithmetic and the natural order of N[X]."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import Monomial, Polynomial
+from repro.polynomials.polynomial import polynomial_product, polynomial_sum
+
+VARS = ("x", "y", "z")
+
+monomials = st.builds(
+    Monomial.from_variables,
+    st.lists(st.sampled_from(VARS), min_size=0, max_size=4),
+)
+polynomials = st.builds(
+    Polynomial,
+    st.lists(st.tuples(monomials, st.integers(min_value=1, max_value=3)),
+             min_size=0, max_size=4),
+)
+
+
+# --- Monomial ---------------------------------------------------------
+
+def test_monomial_construction_merges_exponents():
+    m = Monomial((("x", 1), ("x", 2), ("y", 1)))
+    assert m.exponent("x") == 3
+    assert m.exponent("y") == 1
+    assert m.exponent("w") == 0
+    assert m.degree() == 4
+
+
+def test_monomial_unit():
+    assert Monomial.unit().is_unit()
+    assert Monomial.unit().degree() == 0
+    assert Monomial.variable("x").mul(Monomial.unit()) == Monomial.variable("x")
+
+
+def test_monomial_rejects_negative_exponent():
+    with pytest.raises(ValueError):
+        Monomial((("x", -1),))
+
+
+def test_monomial_divides():
+    x, xy = Monomial.from_variables("x"), Monomial.from_variables("xy")
+    x2 = Monomial.from_variables("xx")
+    assert x.divides(xy) and x.divides(x2)
+    assert not x2.divides(xy)
+    assert x.strictly_divides(x2)
+    assert not x.strictly_divides(x)
+
+
+def test_monomial_word_and_support():
+    m = Monomial((("y", 2), ("x", 1)))
+    assert m.as_word() == ("x", "y", "y")
+    assert m.support_monomial() == Monomial.from_variables("xy")
+    assert m.is_squarefree() is False
+    assert m.support_monomial().is_squarefree()
+
+
+@given(monomials, monomials)
+def test_monomial_mul_commutative(a, b):
+    assert a.mul(b) == b.mul(a)
+
+
+@given(monomials, monomials, monomials)
+def test_monomial_mul_associative(a, b, c):
+    assert a.mul(b).mul(c) == a.mul(b.mul(c))
+
+
+# --- Polynomial -------------------------------------------------------
+
+def test_polynomial_parse_terms():
+    p = Polynomial.parse_terms([(1, "xx"), (2, "xy"), (1, "yy")])
+    assert p.coefficient(Monomial.from_variables("xy")) == 2
+    assert p.term_count() == 3
+    assert p.total_multiplicity() == 4
+    assert p.degree() == 2
+    assert p.is_homogeneous()
+
+
+def test_polynomial_zero_and_one():
+    assert Polynomial.zero().is_zero()
+    assert Polynomial.one().constant_term() == 1
+    assert Polynomial.constant(0).is_zero()
+    assert Polynomial.constant(3).constant_term() == 3
+
+
+def test_polynomial_rejects_negative_coefficients():
+    with pytest.raises(ValueError):
+        Polynomial(((Monomial.variable("x"), -1),))
+    with pytest.raises(ValueError):
+        Polynomial.variable("x").scale(-2)
+
+
+def test_polynomial_add_mul():
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    assert (x + y) * (x + y) == Polynomial.parse_terms(
+        [(1, "xx"), (2, "xy"), (1, "yy")])
+    assert (x + y).power(0) == Polynomial.one()
+    assert x.scale(0).is_zero()
+
+
+def test_polynomial_not_homogeneous():
+    p = Polynomial.parse_terms([(1, "xx"), (1, "y")])
+    assert not p.is_homogeneous()
+
+
+def test_natural_leq():
+    small = Polynomial.parse_terms([(1, "xy")])
+    large = Polynomial.parse_terms([(2, "xy"), (1, "x")])
+    assert small.natural_leq(large)
+    assert not large.natural_leq(small)
+    assert Polynomial.zero().natural_leq(small)
+
+
+@given(polynomials, polynomials)
+@settings(max_examples=60)
+def test_polynomial_add_commutative(p, q):
+    assert p + q == q + p
+
+
+@given(polynomials, polynomials, polynomials)
+@settings(max_examples=60)
+def test_polynomial_distributive(p, q, r):
+    assert p * (q + r) == p * q + p * r
+
+
+@given(polynomials)
+@settings(max_examples=60)
+def test_natural_leq_reflexive_and_additive(p):
+    assert p.natural_leq(p)
+    assert p.natural_leq(p + Polynomial.variable("x"))
+
+
+@given(polynomials, polynomials)
+@settings(max_examples=60)
+def test_natural_leq_is_sum_existence(p, q):
+    """P ≼ Q iff some R has P + R = Q (here: the coefficient gap)."""
+    if p.natural_leq(q):
+        gap = Polynomial(
+            (mono, q.coefficient(mono) - p.coefficient(mono))
+            for mono, _ in q.items()
+        )
+        assert p + gap == q
+
+
+def test_folds():
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    assert polynomial_sum([x, y, x]) == Polynomial.parse_terms(
+        [(2, "x"), (1, "y")])
+    assert polynomial_product([x, y]) == Polynomial.parse_terms([(1, "xy")])
+    assert polynomial_sum([]).is_zero()
+    assert polynomial_product([]) == Polynomial.one()
+
+
+def test_repr_smoke():
+    p = Polynomial.parse_terms([(2, "xy"), (1, "xx")]) + Polynomial.constant(1)
+    text = repr(p)
+    assert "2" in text and "x" in text
+    assert repr(Polynomial.zero()) == "0"
+    assert repr(Monomial.unit()) == "1"

@@ -1,0 +1,97 @@
+"""Product semirings and the random query generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import decide_cq_containment
+from repro.queries.cq import CQ
+from repro.queries.generators import random_cq, random_query_pair, random_ucq
+from repro.semirings import B, LIN, LIN_X_N2, N2_SATURATING, ProductSemiring
+from repro.semirings.product import ProductSemiring as PS
+
+
+# --- products --------------------------------------------------------------
+
+def test_product_containment_is_conjunction_of_factors():
+    """Q1 ⊆K1×K2 Q2 iff Q1 ⊆K1 Q2 and Q1 ⊆K2 Q2 — checked through the
+    oracle-validated procedures on the Lin×N₂ instance."""
+    from repro.oracle import find_counterexample
+    rng = random.Random(8)
+    for _ in range(12):
+        q1 = random_cq(rng, max_atoms=2, max_vars=2)
+        q2 = random_cq(rng, max_atoms=2, max_vars=2)
+        product_verdict = decide_cq_containment(q1, q2, LIN_X_N2)
+        lin_verdict = decide_cq_containment(q1, q2, LIN)
+        if not product_verdict.decided:
+            continue
+        if product_verdict.result:
+            # containment over the product implies it over each factor:
+            assert lin_verdict.result, (q1, q2)
+            assert find_counterexample(q1, q2, N2_SATURATING,
+                                       rng=random.Random(2),
+                                       budget=400, random_rounds=5) is None
+        elif lin_verdict.result:
+            # failure must then come from the N₂ factor:
+            assert find_counterexample(q1, q2, N2_SATURATING,
+                                       rng=random.Random(2), budget=2000,
+                                       random_rounds=40) is not None, (q1, q2)
+
+
+def test_product_default_properties_derived():
+    product = ProductSemiring(B, LIN)
+    assert product.properties.mul_idempotent
+    assert not product.properties.one_annihilating  # Lin fails it
+    assert product.properties.offset == 1
+    assert product.name == "B×Lin[X]"
+
+
+def test_product_var_helper():
+    pair = LIN_X_N2.var("t")
+    assert pair[0] == frozenset({"t"})
+    assert pair[1] == 1
+
+
+# --- generators --------------------------------------------------------------
+
+@given(seed=st.integers(0, 10_000), head=st.integers(0, 2))
+@settings(max_examples=80, deadline=None)
+def test_random_cq_is_wellformed(seed, head):
+    query = random_cq(random.Random(seed), head_arity=head)
+    assert isinstance(query, CQ)
+    assert query.arity == head
+    body_vars = {v for atom in query.atoms for v in atom.variables()}
+    assert set(query.head) <= body_vars
+    assert 1 <= len(query.atoms) <= 3
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_random_ucq_is_wellformed(seed):
+    union = random_ucq(random.Random(seed))
+    assert 1 <= len(union) <= 3
+    union.schema()  # consistent by construction
+
+
+def test_random_query_pair_shapes():
+    rng = random.Random(3)
+    q1, q2 = random_query_pair(rng)
+    assert isinstance(q1, CQ) and isinstance(q2, CQ)
+    u1, u2 = random_query_pair(rng, ucq=True)
+    assert u1.arity == u2.arity == 0
+
+
+def test_generator_produces_duplicates_sometimes():
+    rng = random.Random(4)
+    saw_duplicate = False
+    for _ in range(60):
+        query = random_cq(rng, max_atoms=3, duplicate_bias=0.8)
+        counts = query.atom_multiset()
+        if any(count > 1 for count in counts.values()):
+            saw_duplicate = True
+            break
+    assert saw_duplicate

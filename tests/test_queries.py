@@ -1,0 +1,165 @@
+"""Terms, atoms, CQs, UCQs: construction, validation, immutability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import CQ, UCQ, Atom, Var, as_ucq
+from repro.queries.atoms import is_var, term_sort_key
+
+
+# --- Var / Atom -------------------------------------------------------
+
+def test_var_identity():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+    assert hash(Var("x")) == hash(Var("x"))
+    assert Var("x") < Var("y")
+    with pytest.raises(ValueError):
+        Var("")
+
+
+def test_var_immutable():
+    with pytest.raises(AttributeError):
+        Var("x").name = "y"
+
+
+def test_is_var_distinguishes_constants():
+    assert is_var(Var("x"))
+    assert not is_var("x")
+    assert not is_var(7)
+
+
+def test_atom_basics():
+    atom = Atom("R", (Var("x"), "berlin", 7))
+    assert atom.relation == "R"
+    assert atom.arity == 3
+    assert atom.variables() == (Var("x"),)
+    with pytest.raises(ValueError):
+        Atom("", (Var("x"),))
+
+
+def test_atom_substitute():
+    atom = Atom("R", (Var("x"), Var("y"), "c"))
+    image = atom.substitute({Var("x"): Var("z")})
+    assert image == Atom("R", (Var("z"), Var("y"), "c"))
+    # constants may be substitution images of variables
+    image = atom.substitute({Var("y"): 5})
+    assert image == Atom("R", (Var("x"), 5, "c"))
+
+
+def test_term_sort_key_total_order():
+    values = [Var("b"), "b", Var("a"), 7, "a"]
+    ordered = sorted(values, key=term_sort_key)
+    assert ordered[:2] == [Var("a"), Var("b")]  # variables first
+
+
+# --- CQ ---------------------------------------------------------------
+
+def test_cq_requires_head_in_body():
+    with pytest.raises(ValueError):
+        CQ((Var("x"),), (Atom("R", (Var("y"), Var("z"))),))
+
+
+def test_cq_requires_atoms():
+    with pytest.raises(ValueError):
+        CQ((), ())
+
+
+def test_cq_head_must_be_variables():
+    with pytest.raises(TypeError):
+        CQ(("x",), (Atom("R", (Var("x"),)),))
+
+
+def test_cq_multiset_body():
+    atom = Atom("R", (Var("x"), Var("y")))
+    single = CQ((), (atom,))
+    double = CQ((), (atom, atom))
+    assert single != double
+    assert double.atom_multiset() == {atom: 2}
+
+
+def test_cq_atom_order_canonical():
+    a1 = Atom("R", (Var("x"), Var("y")))
+    a2 = Atom("S", (Var("x"),))
+    assert CQ((), (a1, a2)) == CQ((), (a2, a1))
+
+
+def test_cq_variable_partition():
+    q = CQ((Var("x"),), (Atom("R", (Var("x"), Var("y"))),
+                         Atom("S", (Var("z"),))))
+    assert q.head_vars() == (Var("x"),)
+    assert q.existential_vars() == (Var("y"), Var("z"))
+    assert set(q.variables()) == {Var("x"), Var("y"), Var("z")}
+
+
+def test_cq_schema_consistency():
+    q = CQ((), (Atom("R", (Var("x"), Var("y"))),))
+    assert q.schema() == {"R": 2}
+    bad = CQ((), (Atom("R", (Var("x"),)), Atom("R", (Var("x"), Var("y")))))
+    with pytest.raises(ValueError):
+        bad.schema()
+
+
+def test_cq_substitute_and_rename():
+    q = CQ((Var("x"),), (Atom("R", (Var("x"), Var("y"))),))
+    renamed = q.rename_apart("_1")
+    assert renamed.head == (Var("x_1"),)
+    assert renamed != q
+    substituted = q.substitute({Var("y"): Var("x")})
+    assert substituted.atoms == (Atom("R", (Var("x"), Var("x"))),)
+
+
+def test_cq_constants():
+    q = CQ((), (Atom("R", (Var("x"), "paris", 3)),))
+    assert set(q.constants()) == {3, "paris"}
+
+
+def test_cq_immutable():
+    q = CQ((), (Atom("R", (Var("x"),)),))
+    with pytest.raises(AttributeError):
+        q.head = ()
+
+
+# --- UCQ ---------------------------------------------------------------
+
+def test_ucq_arity_check():
+    q0 = CQ((), (Atom("R", (Var("x"),)),))
+    q1 = CQ((Var("x"),), (Atom("R", (Var("x"),)),))
+    with pytest.raises(ValueError):
+        UCQ((q0, q1))
+
+
+def test_ucq_schema_check():
+    q0 = CQ((), (Atom("R", (Var("x"),)),))
+    q1 = CQ((), (Atom("R", (Var("x"), Var("y"))),))
+    with pytest.raises(ValueError):
+        UCQ((q0, q1))
+
+
+def test_ucq_multiset_semantics():
+    q = CQ((), (Atom("R", (Var("x"),)),))
+    assert UCQ((q,)) != UCQ((q, q))
+    assert len(UCQ((q, q))) == 2
+
+
+def test_ucq_empty():
+    empty = UCQ(())
+    assert empty.is_empty()
+    assert empty.arity == 0
+    assert list(empty) == []
+
+
+def test_ucq_union_and_member():
+    q = CQ((), (Atom("R", (Var("x"),)),))
+    u = UCQ((q,))
+    assert len(u.union(u)) == 2
+    assert len(u.with_member(q)) == 2
+
+
+def test_as_ucq_coercion():
+    q = CQ((), (Atom("R", (Var("x"),)),))
+    assert as_ucq(q) == UCQ((q,))
+    assert as_ucq(UCQ((q,))) == UCQ((q,))
+    with pytest.raises(TypeError):
+        as_ucq("not a query")

@@ -1,0 +1,271 @@
+"""Hand-computed element arithmetic for each concrete semiring.
+
+These pin down the intended semantics (the audits only check laws, not
+that e.g. ``Why[X]`` multiplication really merges witnesses pairwise).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.polynomials import Monomial, Polynomial
+from repro.semirings import (ACCESS, B, BOTTOM, BX, EVENTS, FUZZY, LIN,
+                             LIN_X_N2, LUKASIEWICZ, N, N2X,
+                             N2_SATURATING, N3_SATURATING, NX, POSBOOL,
+                             RPLUS, SORP, TMINUS, TPLUS, TRIO, VITERBI,
+                             WHY, SaturatingNaturalSemiring)
+
+
+# --- boolean ----------------------------------------------------------
+
+def test_boolean_ops():
+    assert B.add(False, True) is True
+    assert B.mul(True, False) is False
+    assert B.leq(False, True)
+    assert not B.leq(True, False)
+
+
+# --- bag and saturating bags ------------------------------------------
+
+def test_natural_ops():
+    assert N.add(2, 3) == 5
+    assert N.mul(2, 3) == 6
+    assert N.leq(2, 3) and not N.leq(3, 2)
+
+
+def test_saturating_caps():
+    assert N2_SATURATING.add(1, 1) == 2
+    assert N2_SATURATING.add(2, 2) == 2
+    assert N2_SATURATING.mul(2, 2) == 2
+    assert N3_SATURATING.mul(2, 2) == 3
+    assert N2_SATURATING.normalize(17) == 2
+
+
+def test_saturating_offset_is_exact():
+    """k·1 = (k+1)·1 but (k−1)·1 ≠ k·1 — smallest offset is the cap."""
+    for cap in (2, 3, 4):
+        semiring = SaturatingNaturalSemiring(cap)
+        assert semiring.scale(cap, 1) == semiring.scale(cap + 1, 1)
+        assert semiring.scale(cap - 1, 1) != semiring.scale(cap, 1)
+
+
+def test_n2_is_mul_idempotent_but_n3_is_not():
+    assert all(N2_SATURATING.mul(x, x) == x for x in (0, 1, 2))
+    assert N3_SATURATING.mul(2, 2) != 2
+
+
+def test_saturating_requires_positive_cap():
+    with pytest.raises(ValueError):
+        SaturatingNaturalSemiring(0)
+
+
+# --- provenance polynomials -------------------------------------------
+
+def test_nx_polynomial_arithmetic():
+    x, y = NX.var("x"), NX.var("y")
+    square = NX.mul(NX.add(x, y), NX.add(x, y))
+    assert square == Polynomial.parse_terms(
+        [(1, "xx"), (2, "xy"), (1, "yy")])
+
+
+def test_bx_collapses_coefficients():
+    x, y = BX.var("x"), BX.var("y")
+    square = BX.mul(BX.add(x, y), BX.add(x, y))
+    assert square == Polynomial.parse_terms(
+        [(1, "xx"), (1, "xy"), (1, "yy")])
+
+
+def test_n2x_caps_coefficients():
+    x = N2X.var("x")
+    assert N2X.add(N2X.add(x, x), x) == Polynomial.parse_terms([(2, "x")])
+
+
+def test_nx_order_is_coefficientwise():
+    p = Polynomial.parse_terms([(1, "xy")])
+    q = Polynomial.parse_terms([(2, "xy"), (1, "xx")])
+    assert NX.leq(p, q)
+    assert not NX.leq(q, p)
+    # Incomparable monomials are incomparable annotations.
+    assert not NX.leq(Polynomial.parse_terms([(1, "xx")]),
+                      Polynomial.parse_terms([(1, "xy")]))
+
+
+# --- lineage ----------------------------------------------------------
+
+def test_lineage_ops():
+    a, b = LIN.var("t1"), LIN.var("t2")
+    assert LIN.add(a, b) == frozenset({"t1", "t2"})
+    assert LIN.mul(a, b) == frozenset({"t1", "t2"})
+    assert LIN.add(BOTTOM, a) == a
+    assert LIN.mul(BOTTOM, a) is BOTTOM
+    assert LIN.leq(BOTTOM, a)
+    assert LIN.leq(a, LIN.add(a, b))
+    assert not LIN.leq(LIN.add(a, b), a)
+
+
+# --- why-provenance ---------------------------------------------------
+
+def test_why_ops():
+    a, b = WHY.var("t1"), WHY.var("t2")
+    assert WHY.add(a, b) == frozenset({frozenset({"t1"}), frozenset({"t2"})})
+    assert WHY.mul(a, b) == frozenset({frozenset({"t1", "t2"})})
+    # Squaring a sum creates the merged witness: not ⊗-idempotent.
+    s = WHY.add(a, b)
+    assert WHY.mul(s, s) == frozenset({
+        frozenset({"t1"}), frozenset({"t2"}), frozenset({"t1", "t2"})})
+
+
+# --- Trio -------------------------------------------------------------
+
+def test_trio_drops_exponents_keeps_coefficients():
+    x, y = TRIO.var("x"), TRIO.var("y")
+    s = TRIO.add(x, y)
+    assert TRIO.mul(s, s) == Polynomial.parse_terms(
+        [(1, "x"), (2, "xy"), (1, "y")])
+
+
+def test_trio_semi_idempotent_example():
+    x, y = TRIO.var("x"), TRIO.var("y")
+    a = TRIO.add(x, y)
+    ab = TRIO.mul(a, TRIO.one)
+    aab = TRIO.mul(TRIO.mul(a, a), TRIO.one)
+    assert TRIO.leq(ab, aab)
+
+
+# --- PosBool ----------------------------------------------------------
+
+def test_posbool_absorption():
+    x, y = POSBOOL.var("x"), POSBOOL.var("y")
+    # x ∨ (x ∧ y) = x
+    assert POSBOOL.add(x, POSBOOL.mul(x, y)) == x
+    # 1 ∨ x = 1 (1-annihilation)
+    assert POSBOOL.add(POSBOOL.one, x) == POSBOOL.one
+    assert POSBOOL.mul(x, x) == x
+
+
+def test_posbool_order():
+    x, y = POSBOOL.var("x"), POSBOOL.var("y")
+    assert POSBOOL.leq(POSBOOL.mul(x, y), x)       # x∧y ⇒ x
+    assert POSBOOL.leq(x, POSBOOL.add(x, y))       # x ⇒ x∨y
+    assert not POSBOOL.leq(x, y)
+
+
+# --- Sorp (absorptive polynomials) ------------------------------------
+
+def test_sorp_absorbs_multiples():
+    x, y = SORP.var("x"), SORP.var("y")
+    xy = SORP.mul(x, y)
+    assert SORP.add(x, xy) == x               # m + m·q = m
+    assert SORP.add(SORP.one, x) == SORP.one  # 1 + x = 1
+    x2 = SORP.mul(x, x)
+    assert x2 != x                            # exponents retained
+    assert SORP.leq(x2, x)                    # but x divides x²
+    assert not SORP.leq(x, x2)
+
+
+def test_sorp_not_semi_idempotent():
+    x, y = SORP.var("x"), SORP.var("y")
+    xy = SORP.mul(x, y)
+    xxy = SORP.mul(SORP.mul(x, x), y)
+    assert not SORP.leq(xy, xxy)
+
+
+# --- tropical ---------------------------------------------------------
+
+def test_tplus_ops_and_order():
+    assert TPLUS.add(3, 5) == 3
+    assert TPLUS.mul(3, 5) == 8
+    assert TPLUS.zero == math.inf
+    assert TPLUS.one == 0
+    assert TPLUS.leq(math.inf, 3)      # ∞ is the bottom
+    assert TPLUS.leq(5, 3)             # reversed numeric order
+    assert not TPLUS.leq(3, 5)
+
+
+def test_tminus_ops_and_order():
+    assert TMINUS.add(3, 5) == 5
+    assert TMINUS.mul(3, 5) == 8
+    assert TMINUS.zero == -math.inf
+    assert TMINUS.leq(-math.inf, 3)
+    assert TMINUS.leq(3, 5)
+    assert not TMINUS.leq(5, 3)
+
+
+# --- unit interval ----------------------------------------------------
+
+def test_viterbi_ops():
+    half, third = Fraction(1, 2), Fraction(1, 3)
+    assert VITERBI.add(half, third) == half
+    assert VITERBI.mul(half, third) == Fraction(1, 6)
+    assert VITERBI.leq(third, half)
+
+
+def test_fuzzy_ops():
+    half, third = Fraction(1, 2), Fraction(1, 3)
+    assert FUZZY.add(half, third) == half
+    assert FUZZY.mul(half, third) == third
+
+
+def test_lukasiewicz_tnorm():
+    a, b = Fraction(3, 4), Fraction(1, 2)
+    assert LUKASIEWICZ.mul(a, b) == Fraction(1, 4)
+    assert LUKASIEWICZ.mul(Fraction(1, 4), Fraction(1, 2)) == 0
+
+
+# --- events and access ------------------------------------------------
+
+def test_event_semiring():
+    omega = EVENTS.one
+    some = frozenset(list(omega)[:1])
+    assert EVENTS.add(some, EVENTS.zero) == some
+    assert EVENTS.mul(some, omega) == some
+    assert EVENTS.leq(some, omega)
+
+
+def test_access_levels():
+    public = ACCESS.level("public")
+    secret = ACCESS.level("secret")
+    assert ACCESS.mul(public, secret) == secret   # joint use: stricter
+    assert ACCESS.add(public, secret) == public   # alternative: laxer
+    assert ACCESS.leq(secret, public)             # stricter ≼ laxer
+    assert ACCESS.leq(ACCESS.zero, secret)
+
+
+# --- rationals --------------------------------------------------------
+
+def test_rplus_amgm_counterexample():
+    """x·y ≼R+ x² + y² (AM-GM): R+ is outside Nin."""
+    for x in (Fraction(1, 2), Fraction(2), Fraction(3, 2)):
+        for y in (Fraction(1, 3), Fraction(1), Fraction(5, 2)):
+            assert RPLUS.leq(x * y, x * x + y * y)
+
+
+# --- free ordered Ssur --------------------------------------------------
+
+def test_ssur_order_is_exponent_raising_matching():
+    from repro.semirings import SSUR
+    x, y = SSUR.var("x"), SSUR.var("y")
+    xy = SSUR.mul(x, y)
+    xxy = SSUR.mul(SSUR.mul(x, x), y)
+    assert SSUR.leq(xy, xxy)            # the defining axiom
+    assert not SSUR.leq(xxy, xy)
+    assert not SSUR.leq(x, y)           # different supports incomparable
+    assert not SSUR.leq(x, SSUR.mul(x, y))  # support must be preserved
+    assert SSUR.leq(x, SSUR.add(x, y))  # sum dominates parts
+    two_x = SSUR.add(x, x)
+    assert SSUR.leq(x, two_x)
+    assert not SSUR.leq(two_x, x)       # coefficients need capacity
+
+
+# --- product ----------------------------------------------------------
+
+def test_product_componentwise():
+    a = (LIN.var("t"), 1)
+    b = (BOTTOM, 2)
+    assert LIN_X_N2.add(a, b) == (frozenset({"t"}), 2)
+    assert LIN_X_N2.mul(a, b) == (BOTTOM, 2)
+    assert LIN_X_N2.leq(LIN_X_N2.zero, a)
+    assert not LIN_X_N2.leq(a, b)

@@ -1,0 +1,108 @@
+"""Audit every registered semiring: algebra laws, positivity, and the
+declared classification flags (both directions).
+
+These tests are the library's substitute for algebraic type safety: a
+wrong operation or a mis-declared axiom flag fails here before it can
+corrupt a containment verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.semirings import (ALL_SEMIRINGS, audit_declared_axioms,
+                             audit_positivity, audit_semiring_laws)
+from tests.helpers import semiring_params
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_semiring_laws(semiring):
+    report = audit_semiring_laws(semiring, random.Random(11), rounds=250)
+    assert report.ok, report.failures[:5]
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_positivity(semiring):
+    report = audit_positivity(semiring, random.Random(12), rounds=200)
+    assert report.ok, report.failures[:5]
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_declared_axioms(semiring):
+    report = audit_declared_axioms(semiring, random.Random(13), rounds=400)
+    assert report.ok, report.failures[:5]
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_zero_one_distinct(semiring):
+    assert not semiring.eq(semiring.zero, semiring.one)
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_sum_prod_folds(semiring):
+    rng = random.Random(14)
+    items = [semiring.sample(rng) for _ in range(4)]
+    total = items[0]
+    for item in items[1:]:
+        total = semiring.add(total, item)
+    assert semiring.eq(semiring.sum(items), total)
+    product = items[0]
+    for item in items[1:]:
+        product = semiring.mul(product, item)
+    assert semiring.eq(semiring.prod(items), product)
+    assert semiring.eq(semiring.sum(()), semiring.zero)
+    assert semiring.eq(semiring.prod(()), semiring.one)
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_from_int_is_morphism(semiring):
+    """n ↦ n·1 preserves + and × (the unique morphism N → K)."""
+    for a in range(4):
+        for b in range(4):
+            assert semiring.eq(
+                semiring.from_int(a + b),
+                semiring.add(semiring.from_int(a), semiring.from_int(b)))
+            assert semiring.eq(
+                semiring.from_int(a * b),
+                semiring.mul(semiring.from_int(a), semiring.from_int(b)))
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_scale_and_power(semiring):
+    rng = random.Random(15)
+    x = semiring.sample(rng)
+    assert semiring.eq(semiring.scale(0, x), semiring.zero)
+    assert semiring.eq(semiring.scale(1, x), x)
+    assert semiring.eq(semiring.scale(3, x),
+                       semiring.add(x, semiring.add(x, x)))
+    assert semiring.eq(semiring.power(x, 0), semiring.one)
+    assert semiring.eq(semiring.power(x, 1), x)
+    assert semiring.eq(semiring.power(x, 3),
+                       semiring.mul(x, semiring.mul(x, x)))
+    with pytest.raises(ValueError):
+        semiring.scale(-1, x)
+    with pytest.raises(ValueError):
+        semiring.power(x, -1)
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_sample_pool_contains_identities(semiring):
+    pool = semiring.sample_pool(random.Random(16), 6)
+    assert len(pool) == 6
+    assert any(semiring.eq(element, semiring.zero) for element in pool)
+    assert any(semiring.eq(element, semiring.one) for element in pool)
+
+
+def test_registry_names_unique():
+    names = [s.name for s in ALL_SEMIRINGS]
+    assert len(names) == len(set(names))
+
+
+def test_registry_lookup():
+    from repro.semirings import get_semiring
+    assert get_semiring("B").name == "B"
+    assert get_semiring("N[X]").name == "N[X]"
+    with pytest.raises(KeyError):
+        get_semiring("no-such-semiring")

@@ -1,0 +1,110 @@
+"""Separations between the containment relations of the classes.
+
+The paper's starting observation: "two queries may be equivalent under
+K1-relations but not under K2-relations".  This suite exhibits a
+concrete separating query pair for *every* adjacent pair of decidable
+classes — each verified semantically by the oracle, so the separations
+are facts about the semirings, not about our procedures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import decide_cq_containment
+from repro.oracle import find_counterexample
+from repro.queries import parse_cq
+from repro.semirings import (B, LIN, NX, SORP, TMINUS, TPLUS, TRIO, WHY)
+
+#: (name, q1, q2, {semiring: expected containment Q1 ⊆K Q2})
+SEPARATIONS = [
+    (
+        "covering needs every atom reached",
+        "Q() :- R(u, v), S(u)",
+        "Q() :- R(u, v)",
+        {B: True, LIN: False, SORP: True, WHY: False, NX: False},
+    ),
+    (
+        "Ex. 4.6: collapse pair",
+        "Q() :- R(u, v), R(u, w)",
+        "Q() :- R(u, v), R(u, v)",
+        {B: True, LIN: True, SORP: False, WHY: False, NX: False,
+         TPLUS: True, TMINUS: True},
+    ),
+    (
+        # Two copies cannot inject into one atom (Sorp refuses), the
+        # doubled right side costs more under min-plus (T+ refuses,
+        # order reversed), but surjectivity and max-plus both accept.
+        "duplicated right-hand side",
+        "Q() :- R(u, v)",
+        "Q() :- R(u, v), R(u, v)",
+        {B: True, LIN: True, SORP: False, WHY: True, TRIO: True,
+         NX: False, TPLUS: False, TMINUS: True},
+    ),
+    (
+        # Mirror image: one atom injects into two copies (Sorp accepts)
+        # but cannot cover both occurrences (Why refuses); min-plus
+        # accepts the cheaper right side, max-plus refuses.
+        "duplicated left-hand side",
+        "Q() :- R(u, v), R(u, v)",
+        "Q() :- R(u, v)",
+        {B: True, LIN: True, SORP: True, WHY: False, TRIO: False,
+         NX: False, TPLUS: True, TMINUS: False},
+    ),
+    (
+        "injective beats surjective on distinct-atom targets",
+        "Q() :- R(x, y), S(x)",
+        "Q() :- S(x)",
+        {B: True, LIN: False, SORP: True, WHY: False, NX: False},
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,q1_text,q2_text,expectations",
+    SEPARATIONS, ids=[s[0] for s in SEPARATIONS])
+def test_separation(name, q1_text, q2_text, expectations):
+    q1, q2 = parse_cq(q1_text), parse_cq(q2_text)
+    for semiring, expected in expectations.items():
+        verdict = decide_cq_containment(q1, q2, semiring)
+        assert verdict.result is expected, (name, semiring.name)
+        # semantic confirmation through the oracle
+        witness = find_counterexample(q1, q2, semiring, budget=800,
+                                      random_rounds=8)
+        if expected:
+            assert witness is None, (name, semiring.name, witness)
+        else:
+            assert witness is not None, (name, semiring.name)
+
+
+def test_every_decidable_class_pair_separated():
+    """For every pair of the five CQ classes, some curated pair
+    distinguishes their containment relations."""
+    representatives = {
+        "Chom": B, "Chcov": LIN, "Cin": SORP, "Csur": WHY, "Cbi": NX,
+    }
+    queries = [
+        (parse_cq(q1), parse_cq(q2)) for _, q1, q2, _ in SEPARATIONS
+    ]
+    names = sorted(representatives)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            k1, k2 = representatives[first], representatives[second]
+            separated = any(
+                decide_cq_containment(q1, q2, k1).result
+                != decide_cq_containment(q1, q2, k2).result
+                for q1, q2 in queries
+            )
+            assert separated, f"{first} and {second} not separated"
+
+
+def test_containment_strictly_weakens_down_the_lattice():
+    """Whenever the bijective condition holds, every other class's
+    containment holds too (bijective homs are universally sufficient) —
+    the separations go one way only."""
+    for _, q1_text, q2_text, expectations in SEPARATIONS:
+        q1, q2 = parse_cq(q1_text), parse_cq(q2_text)
+        if decide_cq_containment(q1, q2, NX).result:
+            for semiring in (B, LIN, SORP, WHY, TPLUS, TMINUS):
+                assert decide_cq_containment(q1, q2, semiring).result, (
+                    q1_text, semiring.name)

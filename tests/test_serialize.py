@@ -1,0 +1,73 @@
+"""Query serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.queries import UCQ, parse_cq, parse_ucq
+from repro.queries.generators import random_cq, random_ucq
+from repro.queries.serialize import query_from_dict, query_to_dict
+
+
+@pytest.mark.parametrize("text", [
+    "Q() :- R(x, x)",
+    "Q(x) :- R(x, y), S(y)",
+    "Q(x, x) :- R(x, y), R(x, y)",
+    "Q() :- R(x, 'berlin'), S(7)",
+    "Q() :- R(u, v), R(u, w), u != v, v != w",
+])
+def test_cq_roundtrip(text):
+    query = parse_cq(text)
+    data = query_to_dict(query)
+    json.dumps(data)  # must be JSON-able
+    assert query_from_dict(data) == query
+
+
+def test_ucq_roundtrip():
+    union = parse_ucq(["Q(x) :- R(x, x)", "Q(y) :- S(y)"])
+    data = query_to_dict(union)
+    json.dumps(data)
+    assert query_from_dict(data) == union
+
+
+def test_empty_ucq_roundtrip():
+    assert query_from_dict(query_to_dict(UCQ(()))) == UCQ(())
+
+
+def test_random_roundtrips():
+    rng = random.Random(77)
+    for _ in range(25):
+        query = random_cq(rng, max_atoms=3, max_vars=3, head_arity=1)
+        assert query_from_dict(
+            json.loads(json.dumps(query_to_dict(query)))) == query
+    for _ in range(10):
+        union = random_ucq(rng)
+        assert query_from_dict(
+            json.loads(json.dumps(query_to_dict(union)))) == union
+
+
+def test_ccq_kind_marked():
+    ccq = parse_cq("Q() :- R(u, v), u != v")
+    data = query_to_dict(ccq)
+    assert data["kind"] == "ccq"
+    restored = query_from_dict(data)
+    assert restored == ccq
+    assert restored.inequalities
+
+
+def test_duplicate_atoms_preserved():
+    query = parse_cq("Q() :- R(x, y), R(x, y)")
+    restored = query_from_dict(query_to_dict(query))
+    assert len(restored.atoms) == 2
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        query_from_dict({"kind": "mystery"})
+    with pytest.raises(TypeError):
+        query_to_dict("not a query")
+    with pytest.raises(ValueError):
+        query_from_dict({"kind": "cq", "head": [{"nope": 1}], "atoms": []})

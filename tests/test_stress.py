@@ -1,0 +1,82 @@
+"""Medium-size stress checks: the engines stay correct and tractable
+beyond toy sizes (chains, cliques, five-variable descriptions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import decide_cq_containment, decide_ucq_containment
+from repro.homomorphisms import HomKind, has_homomorphism
+from repro.queries import CQ, UCQ, Atom, Var, complete_description
+from repro.semirings import B, LIN, NX, WHY
+
+
+def chain(length: int, fan: int = 1) -> CQ:
+    atoms = []
+    for i in range(length):
+        for _ in range(fan):
+            atoms.append(Atom("E", (Var(f"v{i}"), Var(f"v{i + 1}"))))
+    return CQ((), atoms)
+
+
+def clique(size: int) -> CQ:
+    atoms = [Atom("E", (Var(f"v{i}"), Var(f"v{j}")))
+             for i in range(size) for j in range(size) if i != j]
+    return CQ((), atoms)
+
+
+def test_long_chain_into_clique():
+    assert has_homomorphism(chain(8), clique(3), HomKind.PLAIN)
+    assert not has_homomorphism(clique(3), chain(8), HomKind.PLAIN)
+
+
+def test_chain_containments_by_length():
+    """Longer chains are contained in shorter ones under B (fold), not
+    conversely (no hom from longer to shorter without loops)."""
+    shorter, longer = chain(3), chain(5)
+    assert decide_cq_containment(longer, shorter, B).result is True
+    assert decide_cq_containment(shorter, longer, B).result is False
+
+
+def test_five_variable_description():
+    query = chain(4)  # 5 variables → Bell(5) = 52 CCQs
+    description = complete_description(query)
+    assert len(description) == 52
+    assert all(ccq.is_complete() for ccq in description)
+
+
+def test_wide_union_decisions():
+    members = [chain(length) for length in range(1, 5)]
+    q1 = UCQ(tuple(members))
+    q2 = UCQ((chain(1),))
+    # every chain folds into E(v0,v1)? no — it maps INTO any chain; the
+    # single edge has homs from all chains under B.
+    assert decide_ucq_containment(q1, q2, B).result is True
+    assert decide_ucq_containment(q2, q1, B).result is True
+    # Under N[X] the union sizes differ: no bijective matching.
+    assert decide_ucq_containment(q1, q2, NX).result is False
+
+
+def test_fanned_chain_multiset_reasoning():
+    single, fanned = chain(3, fan=1), chain(3, fan=2)
+    # Lin: ⊗-idempotent — covering both ways.
+    assert decide_cq_containment(single, fanned, LIN).result is True
+    assert decide_cq_containment(fanned, single, LIN).result is True
+    # Why: surjective works in one direction only.
+    assert decide_cq_containment(single, fanned, WHY).result is True
+    assert decide_cq_containment(fanned, single, WHY).result is False
+
+
+def test_clique_description_of_triangle_query():
+    triangle = CQ((), (
+        Atom("E", (Var("a"), Var("b"))),
+        Atom("E", (Var("b"), Var("c"))),
+        Atom("E", (Var("c"), Var("a"))),
+    ))
+    description = complete_description(triangle)
+    assert len(description) == 5  # Bell(3)
+    # the all-collapsed CCQ is the self-loop used three times
+    loops = [ccq for ccq in description
+             if len(ccq.existential_vars()) == 1]
+    assert len(loops) == 1
+    assert len(loops[0].atoms) == 3

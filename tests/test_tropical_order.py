@@ -1,0 +1,144 @@
+"""The tropical polynomial orders (Prop. 4.19) and their LP decision.
+
+The LP procedure is cross-validated against a bounded grid checker on
+random polynomials: whenever the grid finds a violating valuation the
+LP must say "not ≼", and whenever the LP says "≼" the grid must be
+silent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import (Polynomial, grid_violation,
+                               max_plus_poly_leq, min_plus_poly_leq)
+from repro.polynomials.polynomial import Monomial
+from repro.semirings import TMINUS, TPLUS
+
+
+def poly(terms):
+    return Polynomial.parse_terms(terms)
+
+
+# --- paper example (Ex. 4.6 continued) --------------------------------
+
+def test_example_4_6_equality_in_tplus():
+    """x1² + 2x1x2 + x2² =T+ x1² + x2²."""
+    left = poly([(1, "xx"), (2, "xy"), (1, "yy")])
+    right = poly([(1, "xx"), (1, "yy")])
+    assert min_plus_poly_leq(left, right)
+    assert min_plus_poly_leq(right, left)
+
+
+def test_example_4_6_fails_in_tminus():
+    """Under max-plus the mixed term x1x2 can exceed max(x1², x2²)…
+    never: 2·max ≥ x+y always.  But the reverse strictness differs:
+    x² + y² ≼T− x² + xy + y² and also conversely (xy ≤ max(x²,y²));
+    a genuinely failing pair is x² vs xy."""
+    assert not max_plus_poly_leq(poly([(1, "xx")]), poly([(1, "xy")]))
+    assert not min_plus_poly_leq(poly([(1, "xy")]), poly([(1, "xx")]))
+
+
+# --- basic dominance facts --------------------------------------------
+
+def test_min_plus_zero_polynomial():
+    zero = Polynomial.zero()
+    x = poly([(1, "x")])
+    # 0K = ∞ is the bottom of ≼T+: 0 ≼ anything.
+    assert min_plus_poly_leq(zero, x)
+    # x ≼ 0 would need ∞ ≤ x numerically: fails.
+    assert not min_plus_poly_leq(x, zero)
+    assert min_plus_poly_leq(zero, zero)
+
+
+def test_max_plus_zero_polynomial():
+    zero = Polynomial.zero()
+    x = poly([(1, "x")])
+    assert max_plus_poly_leq(zero, x)
+    assert not max_plus_poly_leq(x, zero)
+
+
+def test_min_plus_sum_below_parts():
+    """min(x, y) ≤ x pointwise: x + y ≼T+ is *larger* than x… careful:
+    ≼T+ reversed — adding monomials makes a min-plus value smaller,
+    hence larger in ≼T+."""
+    x = poly([(1, "x")])
+    both = poly([(1, "x"), (1, "y")])
+    assert min_plus_poly_leq(x, both)
+    assert not min_plus_poly_leq(both, x)
+
+
+def test_max_plus_sum_above_parts():
+    x = poly([(1, "x")])
+    both = poly([(1, "x"), (1, "y")])
+    assert max_plus_poly_leq(x, both)
+    assert not max_plus_poly_leq(both, x)
+
+
+def test_coefficients_are_absorbed():
+    """k·M =T± M: tropical addition is idempotent."""
+    assert min_plus_poly_leq(poly([(3, "xy")]), poly([(1, "xy")]))
+    assert min_plus_poly_leq(poly([(1, "xy")]), poly([(3, "xy")]))
+    assert max_plus_poly_leq(poly([(3, "xy")]), poly([(1, "xy")]))
+
+
+def test_degree_matters_with_infinities():
+    """x ≼T+ x²? Eval: x² ≤ x needs x ≤ 0 — fails at x = 1."""
+    assert not min_plus_poly_leq(poly([(1, "x")]), poly([(1, "xx")]))
+    # but x² ≼T+ x holds: x ≤ 2x over naturals.
+    assert min_plus_poly_leq(poly([(1, "xx")]), poly([(1, "x")]))
+    # and dually for max-plus.
+    assert max_plus_poly_leq(poly([(1, "x")]), poly([(1, "xx")]))
+    assert not max_plus_poly_leq(poly([(1, "xx")]), poly([(1, "x")]))
+
+
+# --- LP vs grid cross-validation --------------------------------------
+
+VARS = ("x", "y")
+monomials = st.builds(
+    Monomial.from_variables,
+    st.lists(st.sampled_from(VARS), min_size=1, max_size=3),
+)
+tropical_polys = st.builds(
+    Polynomial,
+    st.lists(st.tuples(monomials, st.just(1)), min_size=0, max_size=3),
+)
+
+
+@given(p=tropical_polys, q=tropical_polys)
+@settings(max_examples=80, deadline=None)
+def test_min_plus_agrees_with_grid(p, q):
+    decided = min_plus_poly_leq(p, q)
+    witness = grid_violation(p, q, TPLUS, bound=3)
+    if decided:
+        assert witness is None, (p, q, witness)
+
+
+@given(p=tropical_polys, q=tropical_polys)
+@settings(max_examples=80, deadline=None)
+def test_max_plus_agrees_with_grid(p, q):
+    decided = max_plus_poly_leq(p, q)
+    witness = grid_violation(p, q, TMINUS, bound=3)
+    if decided:
+        assert witness is None, (p, q, witness)
+
+
+def test_grid_violation_finds_witness():
+    witness = grid_violation(poly([(1, "x")]), poly([(1, "xx")]), TPLUS)
+    assert witness is not None
+    # ∞-patterns are part of the grid:
+    witness = grid_violation(poly([(1, "x")]), Polynomial.zero(), TPLUS)
+    assert witness is not None
+
+
+def test_semiring_poly_leq_entry_points():
+    left = poly([(1, "xx"), (2, "xy"), (1, "yy")])
+    right = poly([(1, "xx"), (1, "yy")])
+    assert TPLUS.poly_leq(left, right)
+    assert TMINUS.poly_leq(right, left)
+    # T−: left has the extra xy form; max(x², y²) dominates xy, so both
+    # directions hold as well.
+    assert TMINUS.poly_leq(left, right)

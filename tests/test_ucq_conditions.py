@@ -1,0 +1,166 @@
+"""The UCQ-level syntactic conditions of Sec. 5 (Table 1, right column)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.homomorphisms import (HomKind, bi_count_infty, bi_count_k,
+                                 covering_2, covering_union,
+                                 local_condition, sur_infty)
+from repro.queries import UCQ, parse_cq, parse_ucq
+
+
+# --- local conditions (Prop. 5.1 style) ----------------------------------
+
+def test_local_plain_hom():
+    q1 = parse_ucq(["Q() :- R(x, x)", "Q() :- S(y)"])
+    q2 = parse_ucq(["Q() :- R(u, v)", "Q() :- S(w)"])
+    assert local_condition(q2, q1, HomKind.PLAIN)
+    assert not local_condition(q1, q2, HomKind.PLAIN)
+
+
+def test_local_accepts_cq_inputs():
+    q1 = parse_cq("Q() :- R(x, x)")
+    q2 = parse_cq("Q() :- R(u, v)")
+    assert local_condition(q2, q1, HomKind.PLAIN)
+
+
+def test_local_empty_target_trivial():
+    q2 = parse_ucq(["Q() :- R(u, v)"])
+    assert local_condition(q2, UCQ(()), HomKind.PLAIN)
+    assert not local_condition(UCQ(()), q2, HomKind.PLAIN)
+
+
+# --- union covering ⇉1 (Ex. 5.20) ----------------------------------------
+
+def test_example_5_20_union_covering():
+    q1 = parse_ucq(["Q() :- R(v), S(v)"])
+    q2 = parse_ucq(["Q() :- R(v)", "Q() :- S(v)"])
+    assert covering_union(q2, q1)
+    # no single member covers Q11:
+    from repro.homomorphisms import covers
+    q11 = parse_cq("Q() :- R(v), S(v)")
+    assert not covers(parse_cq("Q() :- R(v)"), q11)
+    assert not covers(parse_cq("Q() :- S(v)"), q11)
+
+
+def test_union_covering_fails_without_relation():
+    q1 = parse_ucq(["Q() :- R(v), S(v)"])
+    q2 = parse_ucq(["Q() :- R(v)"])
+    assert not covering_union(q2, q1)
+
+
+# --- ⇉2 (Thm. 5.24 k = 2) -------------------------------------------------
+
+def test_covering_2_requires_duplicated_support():
+    """Two copies of the same class on the left need two sources."""
+    q1 = parse_ucq(["Q() :- S(v)", "Q() :- S(v), S(v)"])  # both ≡ S(v) class
+    q2_single = parse_ucq(["Q() :- S(v)"])
+    q2_double = parse_ucq(["Q() :- S(v)", "Q() :- S(v)"])
+    assert not covering_2(q2_single, q1)
+    assert covering_2(q2_double, q1)
+
+
+def test_covering_2_multiplicity_one_exempt():
+    """S(v),S(v) ⊆ S(v) over ⊗-idempotent offset-2 semirings: the
+    set-reduced class has multiplicity 1, so one source suffices."""
+    q1 = parse_ucq(["Q() :- S(v), S(v)"])
+    q2 = parse_ucq(["Q() :- S(v)"])
+    assert covering_2(q2, q1)
+
+
+def test_covering_2_automorphism_exempt():
+    """A CCQ with a nontrivial automorphism needs only one source: each
+    source already contributes |Aut| = 2 equal summands, which offset 2
+    saturates.  (The *plain* CQ version would fail: its complete
+    description contains the rigid collapse R(u,u),R(u,u), whose
+    duplication genuinely needs two sources.)"""
+    swap_ccq = "Q() :- R(u, v), R(v, u), u != v"
+    q1 = parse_ucq([swap_ccq, swap_ccq])
+    q2 = parse_ucq([swap_ccq])
+    assert covering_2(q2, q1)
+    plain = "Q() :- R(u, v), R(v, u)"
+    assert not covering_2(parse_ucq([plain]), parse_ucq([plain, plain]))
+
+
+def test_covering_2_implies_covering_1():
+    q1 = parse_ucq(["Q() :- R(v), S(v)"])
+    q2 = parse_ucq(["Q() :- R(v)"])
+    assert not covering_2(q2, q1)
+
+
+# --- →֒∞ (Def. 5.8, Ex. 5.7) ----------------------------------------------
+
+EX57_Q1 = ["Q() :- R(u, v), R(u, u)", "Q() :- R(u, v), R(v, v)"]
+EX57_Q2 = ["Q() :- R(u, v), R(w, w)", "Q() :- R(u, u), R(u, u)"]
+
+
+def test_example_5_7_bi_infty():
+    q1, q2 = parse_ucq(EX57_Q1), parse_ucq(EX57_Q2)
+    assert bi_count_infty(q2, q1)
+    # adding one more copy of the loop query to Q1 breaks the counting
+    q1_plus = q1.with_member(parse_cq("Q() :- R(u, u), R(u, u)"))
+    assert not bi_count_infty(q2, q1_plus)
+
+
+def test_bi_infty_counts_multiplicities():
+    q = parse_cq("Q() :- R(u, u)")
+    assert bi_count_infty(UCQ((q, q)), UCQ((q, q)))
+    assert not bi_count_infty(UCQ((q,)), UCQ((q, q)))
+    assert bi_count_infty(UCQ((q, q)), UCQ((q,)))
+
+
+# --- →֒k (Thm. 5.13, reconstruction) ---------------------------------------
+
+def test_example_5_7_continued_offset_2():
+    """The third copy of Q22 is redundant at offset 2 but not at 3/∞."""
+    q1 = parse_ucq(EX57_Q1).with_member(parse_cq("Q() :- R(u, u), R(u, u)"))
+    q2 = parse_ucq(EX57_Q2)
+    assert bi_count_k(q2, q1, 2)
+    assert not bi_count_k(q2, q1, 3)
+    assert not bi_count_k(q2, q1, float("inf"))
+
+
+def test_bi_count_k_automorphism_discount():
+    """A class with |Aut| = 2 saturates offset 2 with a single copy."""
+    swap = parse_cq("Q() :- R(u, v), R(v, u), u != v")
+    q1 = UCQ((swap, swap))
+    q2 = UCQ((swap,))
+    assert bi_count_k(q2, q1, 2)      # ⌈2/2⌉ = 1 copy suffices
+    assert not bi_count_k(q2, q1, 3)  # ⌈3/2⌉ = 2 copies needed
+    rigid = parse_cq("Q() :- R(u, u)")
+    assert not bi_count_k(UCQ((rigid,)), UCQ((rigid, rigid)), 2)
+
+
+def test_bi_count_k_one_matches_local_bijective():
+    q1 = parse_ucq(EX57_Q1)
+    q2 = parse_ucq(EX57_Q2)
+    assert bi_count_k(q2, q1, 1) == local_condition(q2, q1, HomKind.BIJECTIVE)
+
+
+def test_bi_count_k_validates_input():
+    q = parse_ucq(["Q() :- R(u, u)"])
+    with pytest.raises(ValueError):
+        bi_count_k(q, q, 0)
+
+
+# --- ։∞ (Def. 5.14, Thm. 5.17) ---------------------------------------------
+
+def test_sur_infty_needs_unique_assignment():
+    """Two left CCQs sharing one right CCQ fail the matching."""
+    q = parse_cq("Q() :- R(u, u)")
+    assert sur_infty(UCQ((q, q)), UCQ((q, q)))
+    assert not sur_infty(UCQ((q,)), UCQ((q, q)))
+
+
+def test_sur_infty_example():
+    q1 = parse_ucq(["Q() :- R(u, v)"])
+    q2 = parse_ucq(["Q() :- R(u, v), R(u, w)"])
+    # ⟨Q2⟩ contains the collapse R(u,v),R(u,v)… whose surjective homs
+    # reach ⟨Q1⟩'s CCQs; check it simply runs and is sound vs. Hall.
+    assert sur_infty(q2, q1)
+
+
+def test_sur_infty_empty_target():
+    q2 = parse_ucq(["Q() :- R(u, v)"])
+    assert sur_infty(q2, UCQ(()))

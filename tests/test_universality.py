@@ -1,0 +1,77 @@
+"""Prop. 3.2: ``N[X]`` is universal for all positive semirings.
+
+``Evalν`` (implemented by ``Polynomial.eval_in``) must be a semiring
+morphism for every valuation ``ν : X → K`` — it preserves 0, 1, ⊕ and
+⊗ — and it must be monotone w.r.t. the natural order of ``N[X]``
+(positivity of ``K``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import Monomial, Polynomial
+from tests.helpers import semiring_params
+
+VARS = ("x", "y")
+
+monomials = st.builds(
+    Monomial.from_variables,
+    st.lists(st.sampled_from(VARS), min_size=0, max_size=3),
+)
+polynomials = st.builds(
+    Polynomial,
+    st.lists(st.tuples(monomials, st.integers(min_value=1, max_value=2)),
+             min_size=0, max_size=3),
+)
+
+
+def _valuation(semiring, seed: int) -> dict:
+    rng = random.Random(seed)
+    return {var: semiring.sample(rng) for var in VARS}
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+@given(p=polynomials, q=polynomials, seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_eval_preserves_operations(semiring, p, q, seed):
+    valuation = _valuation(semiring, seed)
+    left = (p + q).eval_in(semiring, valuation)
+    right = semiring.add(p.eval_in(semiring, valuation),
+                         q.eval_in(semiring, valuation))
+    assert semiring.eq(left, right)
+    left = (p * q).eval_in(semiring, valuation)
+    right = semiring.mul(p.eval_in(semiring, valuation),
+                         q.eval_in(semiring, valuation))
+    assert semiring.eq(left, right)
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+def test_eval_preserves_identities(semiring):
+    valuation = _valuation(semiring, 3)
+    assert semiring.eq(Polynomial.zero().eval_in(semiring, valuation),
+                       semiring.zero)
+    assert semiring.eq(Polynomial.one().eval_in(semiring, valuation),
+                       semiring.one)
+
+
+@pytest.mark.parametrize("semiring", semiring_params())
+@given(p=polynomials, q=polynomials, seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_eval_monotone_under_natural_order(semiring, p, q, seed):
+    """P ≼N[X] Q implies Evalν(P) ≼K Evalν(Q): positivity in action."""
+    valuation = _valuation(semiring, seed)
+    total = p + q  # p ≼ total by construction
+    assert semiring.leq(p.eval_in(semiring, valuation),
+                        total.eval_in(semiring, valuation))
+
+
+def test_eval_variable_is_valuation():
+    from repro.semirings import N
+    assert Polynomial.variable("x").eval_in(N, {"x": 9}) == 9
+    p = Polynomial.parse_terms([(2, "xy"), (1, "xx")])
+    assert p.eval_in(N, {"x": 2, "y": 3}) == 2 * 2 * 3 + 2 * 2
