@@ -1,0 +1,66 @@
+"""Cache effectiveness of the :class:`repro.api.ContainmentEngine` facade.
+
+The repeated-workload microbenchmark of the API redesign: run the
+Table-1 CQ matrix (every built-in semiring × the curated CQ pairs)
+twice through ONE engine.  The first pass pays for parsing,
+classification and the homomorphism searches; the second pass must be
+served entirely from the verdict cache and come out measurably faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ContainmentEngine
+from repro.semirings import ALL_SEMIRINGS
+
+from conftest import curated_cq_pairs
+
+MATRIX = [(semiring, q1, q2)
+          for semiring in ALL_SEMIRINGS
+          for q1, q2 in curated_cq_pairs()]
+
+
+def _full_pass(engine: ContainmentEngine):
+    return [engine.decide(q1, q2, semiring).result
+            for semiring, q1, q2 in MATRIX]
+
+
+def test_second_pass_is_all_cache_hits():
+    engine = ContainmentEngine()
+    start = time.perf_counter()
+    cold = _full_pass(engine)
+    after_cold = time.perf_counter()
+    warm = _full_pass(engine)
+    after_warm = time.perf_counter()
+
+    assert warm == cold
+    stats = engine.stats
+    # Every warm decision was a verdict-cache hit...
+    assert stats.verdict_hits == len(MATRIX)
+    # ...and each semiring was classified exactly once, in the cold pass.
+    assert stats.classify_calls == len(ALL_SEMIRINGS)
+    # The warm pass skips every homomorphism search.
+    assert stats.hom_calls <= len(MATRIX) * 2
+
+    cold_ms = (after_cold - start) * 1e3
+    warm_ms = (after_warm - after_cold) * 1e3
+    print(f"\ncold pass: {cold_ms:8.2f} ms for {len(MATRIX)} decisions")
+    print(f"warm pass: {warm_ms:8.2f} ms ({cold_ms / max(warm_ms, 1e-9):.0f}x"
+          " faster via caches)")
+    assert warm_ms < cold_ms
+
+
+def test_warm_engine_throughput(benchmark):
+    engine = ContainmentEngine()
+    expected = _full_pass(engine)  # prime every cache layer
+    results = benchmark(_full_pass, engine)
+    assert results == expected
+
+
+def test_cold_engine_throughput(benchmark):
+    def cold_pass():
+        return _full_pass(ContainmentEngine())
+
+    results = benchmark(cold_pass)
+    assert results == _full_pass(ContainmentEngine())

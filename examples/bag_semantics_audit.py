@@ -13,18 +13,20 @@ implements — is the tight *bounds*: surjective homomorphisms and
 these bounds certifies what it can and stays honest about the gap.
 """
 
-from repro import N, UCQ, decide_cq_containment, decide_ucq_containment, \
-    parse_cq, parse_ucq
+from repro import ContainmentEngine, N, UCQ, parse_cq
 from repro.oracle import find_counterexample
+
+# One engine for the whole audit session: the repeated checks against
+# the fixed bag semiring share its classification and hom-search caches.
+ENGINE = ContainmentEngine()
 
 
 def audit(name: str, q1, q2) -> None:
-    decide = (decide_cq_containment
-              if not isinstance(q1, UCQ) else decide_ucq_containment)
-    verdict = decide(q1, q2, N)
-    answer = {True: "SAFE", False: "WRONG", None: "UNPROVEN"}[verdict.result]
-    print(f"  {name:34s} -> {answer:8s} [{verdict.method}]")
-    if verdict.result is False:
+    document = ENGINE.decide(q1, q2, "bag")   # registry alias for N
+    answer = {True: "SAFE", False: "WRONG",
+              None: "UNPROVEN"}[document.result]
+    print(f"  {name:34s} -> {answer:8s} [{document.method}]")
+    if document.result is False:
         witness = find_counterexample(q1, q2, N)
         if witness is not None:
             print(f"      witness: {witness.instance!r}")
@@ -61,13 +63,13 @@ def main() -> None:
     audit("drop a union duplicate",
           UCQ((loop, loop)), UCQ((loop,)))
 
-    # 6. Honest undecided verdict, with both bounds reported.
-    verdict = decide_ucq_containment(
-        parse_ucq(["Q() :- R(u, v), R(u, w)"]),
-        parse_ucq(["Q() :- R(x, y), R(x, y)"]), N)
+    # 6. Honest undecided verdict, with both bounds reported.  The
+    #    document form is JSON-ready for audit logs.
+    document = ENGINE.decide(["Q() :- R(u, v), R(u, w)"],
+                             ["Q() :- R(x, y), R(x, y)"], "N")
     print(f"  merge branches (union level)       -> UNPROVEN")
-    print(f"      necessary conditions hold: {verdict.necessary}")
-    print(f"      sufficient conditions hold: {verdict.sufficient}")
+    print(f"      necessary conditions hold: {document.necessary}")
+    print(f"      sufficient conditions hold: {document.sufficient}")
     print("      — exactly the open-problem territory of the paper.")
 
 

@@ -11,8 +11,8 @@ provenance — and the library knows which decision procedure applies to
 each semiring (Table 1 of Kostylev–Reutter–Salamon, PODS 2012).
 """
 
-from repro import (B, LIN, N, NX, TPLUS, Instance, classify,
-                   decide_cq_containment, evaluate, parse_cq)
+from repro import (B, LIN, N, NX, TPLUS, ContainmentEngine, Instance,
+                   evaluate, parse_cq)
 
 
 def main() -> None:
@@ -48,24 +48,32 @@ def main() -> None:
           evaluate(two_hop, tagged, ("a", "b")))
 
     # --- containment is semiring-sensitive ------------------------------
+    # One ContainmentEngine is the canonical entry point: it interns the
+    # parsed queries, classifies each semiring once, and caches the
+    # homomorphism searches shared between the five checks below.
+    engine = ContainmentEngine()
     print()
     print("== containment depends on the semiring ==")
-    q1 = parse_cq("Q() :- R(u, v), R(u, w)")   # Ex. 4.6 of the paper
-    q2 = parse_cq("Q() :- R(u, v), R(u, v)")
+    q1 = "Q() :- R(u, v), R(u, w)"   # Ex. 4.6 of the paper
+    q2 = "Q() :- R(u, v), R(u, v)"
     for semiring in (B, LIN, TPLUS, NX, N):
-        verdict = decide_cq_containment(q1, q2, semiring)
-        answer = {True: "YES", False: "no", None: "undecided"}[verdict.result]
+        document = engine.decide(q1, q2, semiring)
+        answer = {True: "YES", False: "no",
+                  None: "undecided"}[document.result]
         print(f"  Q1 ⊆ Q2 over {semiring.name:6s} -> {answer:9s} "
-              f"[{verdict.method}]")
+              f"[{document.method}]")
 
     # --- the classification drives the dispatch -------------------------
     print()
     print("== where each semiring sits in Table 1 ==")
     for semiring in (B, LIN, TPLUS, NX, N):
-        cls = classify(semiring)
+        cls = engine.classification(semiring)
         print(f"  {semiring.name:6s} CQ: {cls.cq_exact_class() or '-':6s} "
               f"UCQ: {cls.ucq_exact_class() or '-':6s} "
               f"small-model: {cls.small_model}")
+    stats = engine.stats
+    print(f"  (engine cache: {stats.hom_hits} hom-search hits, "
+          f"{stats.classify_hits} classification recalls)")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,17 @@ tropical small-model procedure, and the Table-1 decision procedures for
 query containment — plus a brute-force semantic oracle used to validate
 every procedure.
 
-Quickstart::
+Quickstart — the cached facade (recommended)::
+
+    from repro import ContainmentEngine
+
+    engine = ContainmentEngine()
+    engine.decide("Q() :- R(u, v), R(u, w)",
+                  "Q() :- R(u, v), R(u, v)", "B").result     # True
+    engine.decide("Q() :- R(u, v), R(u, w)",
+                  "Q() :- R(u, v), R(u, v)", "N[X]").result  # False
+
+or the loose functions::
 
     from repro import B, NX, parse_cq, decide_cq_containment
 
@@ -20,6 +30,8 @@ Quickstart::
 """
 
 from .algebra import RewriteCheck, check_rewrite, table
+from .api import (ContainmentEngine, ContainmentRequest, EngineStats,
+                  VerdictDocument)
 from .core import (Classification, Undecided, Verdict, classify,
                    decide_cq_containment, decide_ucq_containment, explain,
                    k_equivalent, small_model_contained)
@@ -35,11 +47,12 @@ from .queries import (CQ, UCQ, Atom, CQWithInequalities, Var, as_ucq,
                       complete_description, complete_description_ucq,
                       evaluate, evaluate_all, parse_cq, parse_ucq,
                       valuations)
-from .semirings import (ACCESS, ALL_SEMIRINGS, B, BX, EVENTS, FUZZY, LIN,
-                        LUKASIEWICZ, N, N2X, N2_SATURATING, N3X,
-                        N3_SATURATING, NX, POSBOOL, RPLUS, SORP, TMINUS,
-                        TPLUS, TRIO, VITERBI, WHY, Semiring,
-                        SemiringProperties, get_semiring)
+from .semirings import (ACCESS, ALL_SEMIRINGS, B, BX, DEFAULT_REGISTRY,
+                        EVENTS, FUZZY, LIN, LUKASIEWICZ, N, N2X,
+                        N2_SATURATING, N3X, N3_SATURATING, NX, POSBOOL,
+                        RPLUS, SORP, TMINUS, TPLUS, TRIO, VITERBI, WHY,
+                        Semiring, SemiringProperties, SemiringRegistry,
+                        get_semiring)
 from .oracle import Counterexample, find_counterexample, refutes
 
 __version__ = "1.0.0"
@@ -47,11 +60,15 @@ __version__ = "1.0.0"
 __all__ = [
     "ACCESS", "ALL_SEMIRINGS", "Atom", "B", "BX", "CQ",
     "CQWithInequalities", "CanonicalInstance", "Classification",
-    "Counterexample", "EVENTS", "FUZZY", "HomKind", "Instance", "LIN",
+    "ContainmentEngine", "ContainmentRequest",
+    "Counterexample", "DEFAULT_REGISTRY", "EVENTS", "EngineStats",
+    "FUZZY", "HomKind", "Instance", "LIN",
     "LUKASIEWICZ", "Monomial", "N", "N2X", "N2_SATURATING", "N3X",
     "N3_SATURATING", "NX", "POSBOOL", "Polynomial", "RPLUS", "SORP",
-    "Semiring", "SemiringProperties", "TMINUS", "TPLUS", "TRIO", "UCQ",
-    "Undecided", "VITERBI", "Var", "Verdict", "WHY", "are_isomorphic",
+    "Semiring", "SemiringProperties", "SemiringRegistry", "TMINUS",
+    "TPLUS", "TRIO", "UCQ",
+    "Undecided", "VITERBI", "Var", "Verdict", "VerdictDocument", "WHY",
+    "are_isomorphic",
     "as_ucq", "automorphism_count", "bi_count_infty", "bi_count_k",
     "canonical_instance", "classify", "complete_description",
     "complete_description_ucq", "covering_2", "covering_union", "covers",

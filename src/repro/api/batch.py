@@ -1,0 +1,98 @@
+"""Streaming JSONL batch processing.
+
+Workloads like rewrite auditing issue thousands of containment checks
+against a fixed semiring.  This module turns an engine into a JSONL
+filter: one request document per input line, one verdict document per
+output line, errors reported in-band so a single malformed line never
+kills the stream::
+
+    {"semiring": "B", "q1": "Q() :- R(x, y)", "q2": "Q() :- R(x, x)"}
+
+becomes
+
+    {"result": false, "method": "homomorphism", ...}
+
+Used by ``python -m repro batch`` and directly importable for services.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..queries.parser import ParseError
+from .documents import ContainmentRequest
+from .engine import ContainmentEngine
+
+__all__ = ["BatchError", "error_text", "process_lines",
+           "requests_from_lines"]
+
+
+def error_text(error: BaseException) -> str:
+    """Human-readable message without repr artifacts.
+
+    ``str(KeyError)`` wraps the message in quotes; unwrap it so the
+    machine-readable error stream carries the bare text.
+    """
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """A per-line failure, reported in-band in the output stream."""
+
+    line: int
+    error: str
+    id: str | None = None
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able representation."""
+        data: dict = {"line": self.line, "error": self.error}
+        if self.id is not None:
+            data["id"] = self.id
+        return data
+
+
+def requests_from_lines(lines: Iterable[str], *, parse=None
+                        ) -> Iterator[tuple[int, object]]:
+    """Parse JSONL request lines into ``(lineno, request-or-error)``.
+
+    Blank lines and ``#`` comments are skipped.  Malformed lines yield
+    a :class:`BatchError` instead of raising, so callers can keep
+    streaming.
+    """
+    for lineno, line in enumerate(lines, 1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        request_id = None
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("request line must be a JSON object")
+            request_id = data.get("id")
+            yield lineno, ContainmentRequest.from_dict(data, parse=parse)
+        except (ValueError, TypeError, KeyError, ParseError) as error:
+            yield lineno, BatchError(lineno, error_text(error),
+                                     id=request_id)
+
+
+def process_lines(engine: ContainmentEngine,
+                  lines: Iterable[str]) -> Iterator[dict]:
+    """Decide a JSONL request stream, yielding JSON-able result dicts.
+
+    Each yielded dict is either a verdict document or an in-band error
+    object ``{"line": n, "error": ...}``.
+    """
+    for lineno, item in requests_from_lines(lines, parse=engine.parse):
+        if isinstance(item, BatchError):
+            yield item.to_dict()
+            continue
+        try:
+            yield engine.decide_request(item).to_dict()
+        except (ValueError, TypeError, KeyError) as error:
+            yield BatchError(lineno, error_text(error),
+                             id=item.id).to_dict()

@@ -1,0 +1,281 @@
+"""The cached, batchable containment engine.
+
+:class:`ContainmentEngine` is the facade the CLI, the examples and the
+benchmarks go through.  One engine owns:
+
+* a per-engine mutable :class:`~repro.semirings.registry.SemiringRegistry`
+  (a copy of the defaults, so ``register_semiring`` stays local);
+* three memoization layers — classification per semiring, parsed-query
+  interning per source text, and an LRU over homomorphism-search
+  results keyed by ``(source, target, HomKind)`` canonical forms — plus
+  a verdict-level LRU, so repeated checks are near-free;
+* the document types of :mod:`repro.api.documents` for JSON-clean
+  input/output, including the streaming batch entry points.
+
+Registering (or replacing) a semiring bumps the registry's version;
+the engine detects the bump and drops its semiring-dependent caches
+(classification, verdicts).  The homomorphism cache is purely
+structural — it only mentions queries — and survives.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from ..core.classes import Classification, classify
+from ..core.containment import (decide_cq_containment,
+                                decide_ucq_containment, k_equivalent)
+from ..core.context import DecisionContext
+from ..homomorphisms.search import HomKind, find_homomorphism
+from ..queries.cq import CQ
+from ..queries.parser import parse_cq
+from ..semirings.base import Semiring
+from ..semirings.registry import DEFAULT_REGISTRY, SemiringRegistry
+from .documents import ContainmentRequest, VerdictDocument, _coerce_query
+
+__all__ = ["CachingDecisionContext", "ContainmentEngine", "EngineStats"]
+
+_MISSING = object()
+
+
+@dataclass
+class EngineStats:
+    """Observable cache counters of one engine.
+
+    ``*_calls`` count actual computations, ``*_hits`` count cache
+    recalls; ``decisions`` counts every :meth:`ContainmentEngine.decide`.
+    """
+
+    decisions: int = 0
+    verdict_hits: int = 0
+    classify_calls: int = 0
+    classify_hits: int = 0
+    parse_calls: int = 0
+    parse_hits: int = 0
+    hom_calls: int = 0
+    hom_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for logs and reports)."""
+        return dict(vars(self))
+
+
+class _LRU:
+    """A minimal ordered-dict LRU map (None is a storable value)."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        """Recall ``key``, refreshing its recency."""
+        if key not in self._data:
+            return default
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        """Store ``key``, evicting the least recently used entry."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class CachingDecisionContext(DecisionContext):
+    """A :class:`DecisionContext` that routes through an engine's caches."""
+
+    def __init__(self, engine: "ContainmentEngine"):
+        self._engine = engine
+
+    def classify(self, semiring) -> Classification:
+        """Classification via the engine's per-semiring cache."""
+        return self._engine.classification(semiring)
+
+    def find_homomorphism(self, source, target, kind: HomKind):
+        """Homomorphism search via the engine's LRU."""
+        return self._engine.find_homomorphism(source, target, kind)
+
+
+class ContainmentEngine:
+    """Cached facade over the Table-1 containment decision procedures.
+
+    ``registry`` defaults to a private copy of the built-in semirings;
+    pass an explicit :class:`SemiringRegistry` to share one.  The cache
+    sizes bound the three LRU layers (parse interning, homomorphism
+    results, whole verdicts), keeping long-running batch/service
+    workloads at constant memory; only the classification cache is
+    unbounded (one small entry per semiring).
+    """
+
+    def __init__(self, registry: SemiringRegistry | None = None, *,
+                 parse_cache_size: int = 8192,
+                 hom_cache_size: int = 4096,
+                 verdict_cache_size: int = 4096):
+        self.registry = (registry if registry is not None
+                         else DEFAULT_REGISTRY.copy())
+        self.stats = EngineStats()
+        self._classifications: dict[Any, Classification] = {}
+        self._parsed: _LRU = _LRU(parse_cache_size)
+        self._homs = _LRU(hom_cache_size)
+        self._verdicts = _LRU(verdict_cache_size)
+        self._context = CachingDecisionContext(self)
+        self._registry_version = self.registry.version
+
+    # -- registry -------------------------------------------------------
+
+    def semiring(self, semiring: str | Semiring) -> Semiring:
+        """Resolve a semiring name/alias (or pass an instance through)."""
+        if isinstance(semiring, Semiring):
+            return semiring
+        return self.registry.get(semiring)
+
+    def register_semiring(self, semiring: Semiring, *,
+                          aliases: Iterable[str] = (),
+                          replace: bool = False) -> Semiring:
+        """Register a semiring on this engine's registry.
+
+        Invalidates the semiring-dependent caches (classification and
+        verdicts); the structural homomorphism cache survives.
+        """
+        self.registry.register(semiring, aliases=aliases, replace=replace)
+        self._sync()
+        return semiring
+
+    def _sync(self) -> None:
+        """Drop semiring-dependent caches if the registry mutated."""
+        if self.registry.version != self._registry_version:
+            self._classifications.clear()
+            self._verdicts.clear()
+            self._registry_version = self.registry.version
+
+    # -- memoized primitives -------------------------------------------
+
+    def classification(self, semiring: str | Semiring) -> Classification:
+        """The Table-1 classification, computed once per semiring."""
+        self._sync()
+        semiring = self.semiring(semiring)
+        cls = self._classifications.get(semiring)
+        if cls is None:
+            self.stats.classify_calls += 1
+            cls = classify(semiring)
+            self._classifications[semiring] = cls
+        else:
+            self.stats.classify_hits += 1
+        return cls
+
+    def parse(self, text: str) -> CQ:
+        """Parse CQ source text, interning by the exact source string."""
+        cq = self._parsed.get(text)
+        if cq is None:
+            self.stats.parse_calls += 1
+            cq = parse_cq(text)
+            self._parsed.put(text, cq)
+        else:
+            self.stats.parse_hits += 1
+        return cq
+
+    def find_homomorphism(self, source, target, kind: HomKind):
+        """LRU-cached homomorphism search (``None`` results included)."""
+        key = (source, target, kind)
+        hit = self._homs.get(key, _MISSING)
+        if hit is not _MISSING:
+            self.stats.hom_hits += 1
+            return hit
+        self.stats.hom_calls += 1
+        result = find_homomorphism(source, target, kind)
+        self._homs.put(key, result)
+        return result
+
+    # -- deciding -------------------------------------------------------
+
+    def decide(self, q1, q2, semiring: str | Semiring, *,
+               equivalence: bool = False,
+               request_id: str | None = None) -> VerdictDocument:
+        """Decide ``Q1 ⊆K Q2`` (or ``≡K``) and return a document.
+
+        ``q1``/``q2`` accept CQ/UCQ objects, Datalog source text, lists
+        of member texts, or serialized query dicts.  Singleton unions
+        are decided through the CQ-level procedures.
+        """
+        self._sync()
+        resolved = self.semiring(semiring)
+        union1 = _coerce_query(q1, self.parse)
+        union2 = _coerce_query(q2, self.parse)
+        self.stats.decisions += 1
+        # Keyed by the resolved *instance* (identity hash), not its name:
+        # two distinct semirings sharing a name must not share verdicts.
+        key = (resolved, union1, union2, equivalence)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self.stats.verdict_hits += 1
+            return cached.with_request(request_id, cached=True)
+        singletons = len(union1) == 1 and len(union2) == 1
+        if equivalence:
+            verdict = (k_equivalent(union1.cqs[0], union2.cqs[0], resolved,
+                                    context=self._context)
+                       if singletons else
+                       k_equivalent(union1, union2, resolved,
+                                    context=self._context))
+        elif singletons:
+            verdict = decide_cq_containment(union1.cqs[0], union2.cqs[0],
+                                            resolved, context=self._context)
+        else:
+            verdict = decide_ucq_containment(union1, union2, resolved,
+                                             context=self._context)
+        document = VerdictDocument.from_verdict(
+            verdict, semiring=resolved.name, q1=union1, q2=union2,
+            request_id=request_id)
+        self._verdicts.put(key, document)
+        return document
+
+    def decide_request(self, request: ContainmentRequest) -> VerdictDocument:
+        """Decide one :class:`ContainmentRequest`."""
+        return self.decide(request.q1, request.q2, request.semiring,
+                           equivalence=request.equivalence,
+                           request_id=request.id)
+
+    def decide_stream(self, requests: Iterable) -> Iterator[VerdictDocument]:
+        """Lazily decide an iterable of requests (dicts are accepted)."""
+        for request in requests:
+            if not isinstance(request, ContainmentRequest):
+                request = ContainmentRequest.from_dict(request,
+                                                       parse=self.parse)
+            yield self.decide_request(request)
+
+    def decide_many(self, requests: Iterable) -> list[VerdictDocument]:
+        """Decide a batch of requests, preserving order."""
+        return list(self.decide_stream(requests))
+
+    # -- introspection --------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        """Current cache sizes plus the stat counters."""
+        info = self.stats.as_dict()
+        info.update(
+            classification_entries=len(self._classifications),
+            parsed_entries=len(self._parsed),
+            hom_entries=len(self._homs),
+            verdict_entries=len(self._verdicts),
+        )
+        return info
+
+    def clear_caches(self) -> None:
+        """Drop every cache layer (stats counters are kept)."""
+        self._classifications.clear()
+        self._parsed.clear()
+        self._homs.clear()
+        self._verdicts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ContainmentEngine semirings={len(self.registry)} "
+                f"decisions={self.stats.decisions}>")

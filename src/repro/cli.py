@@ -1,5 +1,9 @@
 """Command-line interface.
 
+Every command goes through one :class:`repro.api.ContainmentEngine`, so
+name lookup (aliases, case-insensitive, "did you mean"), parsing and
+the decision caches behave exactly as they do for library users.
+
 Usage (after installation)::
 
     python -m repro semirings
@@ -7,6 +11,7 @@ Usage (after installation)::
     python -m repro contain --semiring T+ \\
         --q1 "Q() :- R(v), S(v)" \\
         --q2 "Q() :- R(v), R(v)" --q2 "Q() :- S(v), S(v)"
+    python -m repro batch --input requests.jsonl
     python -m repro minimize --semiring B "Q(x) :- R(x, y), R(x, z)"
     python -m repro evaluate --semiring N \\
         --fact "R(a, b) = 2" --fact "S(b) = 3" "Q(x) :- R(x, y), S(y)"
@@ -15,30 +20,34 @@ Annotations on ``--fact`` are parsed as integers (mapped through the
 semiring: a count for ``N``, a cost for ``T+``, …) or, for the
 polynomial-like semirings, as variable names (``= x1`` tags the fact
 with a fresh provenance token).
+
+The ``batch`` command streams JSONL: one request object per input line
+(``{"semiring": ..., "q1": ..., "q2": ..., "id": ...}``), one verdict
+document per output line, errors reported in-band.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from .core import classify, decide_cq_containment, decide_ucq_containment
+from .api import ContainmentEngine, process_lines
 from .data import Instance
 from .optimize import minimize_cq
-from .queries import UCQ, evaluate_all, parse_cq, parse_ucq
+from .queries import evaluate_all
 from .queries.parser import ParseError
-from .semirings import ALL_SEMIRINGS, get_semiring
 
 __all__ = ["main"]
 
 
-def _parse_fact(text: str, semiring):
+def _parse_fact(text: str, semiring, engine: ContainmentEngine):
     """Parse ``"R(a, b) = value"`` into (relation, row, annotation)."""
     if "=" not in text:
         raise ValueError(f"fact needs '= annotation': {text!r}")
     atom_text, _, value_text = text.rpartition("=")
-    atom_query = parse_cq(f"F() :- {atom_text.strip()}")
+    atom_query = engine.parse(f"F() :- {atom_text.strip()}")
     atom = atom_query.atoms[0]
     if atom.variables():
         raise ValueError(f"facts must be ground (constants only): {text!r}")
@@ -53,11 +62,12 @@ def _parse_fact(text: str, semiring):
     return atom.relation, atom.terms, annotation
 
 
-def _cmd_semirings(_args) -> int:
+def _cmd_semirings(args) -> int:
+    engine = args.engine
     print(f"{'name':12s} {'CQ class':8s} {'UCQ class':9s} "
           f"{'small-model':11s} notes")
-    for semiring in ALL_SEMIRINGS:
-        cls = classify(semiring)
+    for semiring in engine.registry:
+        cls = engine.classification(semiring)
         print(f"{semiring.name:12s} {cls.cq_exact_class() or '-':8s} "
               f"{cls.ucq_exact_class() or '-':9s} "
               f"{str(cls.small_model):11s} "
@@ -66,8 +76,9 @@ def _cmd_semirings(_args) -> int:
 
 
 def _cmd_classify(args) -> int:
-    semiring = get_semiring(args.semiring)
-    cls = classify(semiring)
+    engine = args.engine
+    semiring = engine.semiring(args.semiring)
+    cls = engine.classification(semiring)
     print(f"{semiring.name}: offset = "
           f"{'∞' if cls.offset == float('inf') else int(cls.offset)}")
     for name, member in cls.memberships().items():
@@ -76,41 +87,81 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _explain_contain(engine: ContainmentEngine, args):
+    """Run the certificate re-check / witness search for ``contain``."""
+    from .core.explain import explain
+    from .queries import UCQ
+
+    q1 = [engine.parse(text) for text in args.q1]
+    q2 = [engine.parse(text) for text in args.q2]
+    singletons = len(q1) == 1 and len(q2) == 1
+    return explain(
+        q1[0] if singletons else UCQ(tuple(q1)),
+        q2[0] if singletons else UCQ(tuple(q2)),
+        engine.semiring(args.semiring))
+
+
 def _cmd_contain(args) -> int:
-    semiring = get_semiring(args.semiring)
-    if args.q1 is None or args.q2 is None:
-        raise ValueError("--q1 and --q2 are required (repeat for unions)")
-    q1, q2 = parse_ucq(args.q1), parse_ucq(args.q2)
-    if len(q1) == 1 and len(q2) == 1:
-        verdict = decide_cq_containment(q1.cqs[0], q2.cqs[0], semiring)
-    else:
-        verdict = decide_ucq_containment(q1, q2, semiring)
-    answer = {True: "CONTAINED", False: "NOT CONTAINED",
-              None: "UNDECIDED"}[verdict.result]
-    print(f"{answer}  [{verdict.method}]")
-    if verdict.explanation:
-        print(f"  {verdict.explanation}")
-    if verdict.result is None:
-        print(f"  necessary conditions hold: {verdict.necessary}")
-        print(f"  sufficient conditions hold: {verdict.sufficient}")
-    if args.explain:
-        from .core.explain import explain
-        explanation = explain(
-            q1.cqs[0] if len(q1) == 1 and len(q2) == 1 else q1,
-            q2.cqs[0] if len(q1) == 1 and len(q2) == 1 else q2,
-            semiring)
+    engine = args.engine
+    document = engine.decide(args.q1, args.q2, args.semiring)
+    explanation = _explain_contain(engine, args) if args.explain else None
+    if args.json:
+        data = document.to_dict()
+        if explanation is not None:
+            detail = {"summary": explanation.summary()}
+            if explanation.witness is not None:
+                detail["witness"] = {
+                    "instance": repr(explanation.witness.instance),
+                    "target": repr(explanation.witness.target),
+                    "lhs": repr(explanation.witness.lhs),
+                    "rhs": repr(explanation.witness.rhs),
+                }
+            data["explain"] = detail
+        print(json.dumps(data, ensure_ascii=False))
+        return 0 if document.result is not None else 2
+    print(f"{document.answer}  [{document.method}]")
+    if document.explanation:
+        print(f"  {document.explanation}")
+    if document.result is None:
+        print(f"  necessary conditions hold: {document.necessary}")
+        print(f"  sufficient conditions hold: {document.sufficient}")
+    if explanation is not None:
         print(f"  {explanation.summary()}")
         if explanation.witness is not None:
             print(f"  witness instance: {explanation.witness.instance!r}")
             print(f"  at tuple {explanation.witness.target}: "
                   f"{explanation.witness.lhs!r} ⋠ "
                   f"{explanation.witness.rhs!r}")
-    return 0 if verdict.result is not None else 2
+    return 0 if document.result is not None else 2
+
+
+def _cmd_batch(args) -> int:
+    from contextlib import ExitStack
+
+    engine = args.engine
+    errors = 0
+    with ExitStack() as stack:
+        source = (sys.stdin if args.input in (None, "-") else
+                  stack.enter_context(open(args.input, encoding="utf-8")))
+        sink = (sys.stdout if args.output in (None, "-") else
+                stack.enter_context(open(args.output, "w",
+                                         encoding="utf-8")))
+        for document in process_lines(engine, source):
+            if "error" in document:
+                errors += 1
+            # flush per line: batch is a streaming filter and downstream
+            # consumers must see each verdict as its request is decided.
+            print(json.dumps(document, ensure_ascii=False), file=sink,
+                  flush=True)
+    if args.stats:
+        print(json.dumps(engine.cache_info()), file=sys.stderr)
+    return 0 if errors == 0 else 1
 
 
 def _cmd_minimize(args) -> int:
-    semiring = get_semiring(args.semiring)
-    query = parse_cq(args.query)
+    engine = args.engine
+    semiring = engine.semiring(args.semiring)
+    query = engine.parse(args.query)
     result = minimize_cq(query, semiring)
     print(f"input:     {query}")
     print(f"minimized: {result.query}")
@@ -119,10 +170,11 @@ def _cmd_minimize(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    semiring = get_semiring(args.semiring)
-    facts = [_parse_fact(text, semiring) for text in args.fact or []]
+    engine = args.engine
+    semiring = engine.semiring(args.semiring)
+    facts = [_parse_fact(text, semiring, engine) for text in args.fact or []]
     instance = Instance.from_facts(semiring, facts)
-    query = parse_cq(args.query)
+    query = engine.parse(args.query)
     answers = evaluate_all(query, instance)
     if not answers:
         print("no answers (all annotations are 0)")
@@ -140,7 +192,7 @@ def _cmd_falsify(args) -> int:
                                     falsify_nk_bi, falsify_nk_hcov,
                                     falsify_nsur, probe_polynomials)
 
-    semiring = get_semiring(args.semiring)
+    semiring = args.engine.semiring(args.semiring)
     if not semiring.properties.poly_order_decidable:
         print(f"error: {semiring.name} has no decidable polynomial order; "
               "the axiom search needs poly_leq", file=sys.stderr)
@@ -192,12 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
     contain = commands.add_parser(
         "contain", help="decide Q1 ⊆K Q2 (repeat --q1/--q2 for unions)")
     contain.add_argument("--semiring", required=True)
-    contain.add_argument("--q1", action="append")
-    contain.add_argument("--q2", action="append")
+    contain.add_argument("--q1", action="append", required=True)
+    contain.add_argument("--q2", action="append", required=True)
+    contain.add_argument("--json", action="store_true",
+                         help="print the verdict document as JSON")
     contain.add_argument("--explain", action="store_true",
                          help="re-check certificates / search for a "
                               "semantic witness")
     contain.set_defaults(func=_cmd_contain)
+
+    batch = commands.add_parser(
+        "batch", help="stream JSONL requests in, JSONL verdicts out")
+    batch.add_argument("--input", default="-",
+                       help="JSONL request file ('-' for stdin)")
+    batch.add_argument("--output", default="-",
+                       help="JSONL verdict file ('-' for stdout)")
+    batch.add_argument("--stats", action="store_true",
+                       help="print engine cache stats to stderr at the end")
+    batch.set_defaults(func=_cmd_batch)
 
     minimize = commands.add_parser(
         "minimize", help="remove atoms while preserving K-equivalence")
@@ -226,9 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:  # argparse errors (e.g. missing --q1)
+        return exit_.code if isinstance(exit_.code, int) else 1
+    args.engine = ContainmentEngine()
     try:
         return args.func(args)
-    except (ParseError, ValueError, KeyError) as error:
-        print(f"error: {error}", file=sys.stderr)
+    except BrokenPipeError:
+        # Downstream closed the stream (e.g. `repro batch | head`):
+        # normal termination for a filter, not an error.  Point stdout
+        # at devnull so the interpreter's shutdown flush stays quiet.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ParseError, ValueError, KeyError, OSError) as error:
+        from .api import error_text
+        print(f"error: {error_text(error)}", file=sys.stderr)
         return 1

@@ -37,6 +37,7 @@ from ..homomorphisms.ucq_conditions import (bi_count_infty, bi_count_k,
 from ..queries.cq import CQ
 from ..queries.ucq import UCQ, as_ucq
 from .classes import Classification, classify
+from .context import DEFAULT_CONTEXT, DecisionContext
 from .small_model import small_model_contained
 from .verdict import Verdict
 
@@ -50,17 +51,24 @@ def _check_arity(q1, q2) -> None:
             f"{q1.arity} and {q2.arity}")
 
 
-def decide_cq_containment(q1: CQ, q2: CQ, semiring) -> Verdict:
-    """Decide ``Q1 ⊆K Q2`` for conjunctive queries."""
+def decide_cq_containment(q1: CQ, q2: CQ, semiring, *,
+                          context: DecisionContext | None = None) -> Verdict:
+    """Decide ``Q1 ⊆K Q2`` for conjunctive queries.
+
+    ``context`` optionally reroutes classification and homomorphism
+    search (e.g. through the caches of an
+    :class:`repro.api.ContainmentEngine`).
+    """
     if not isinstance(q1, CQ) or not isinstance(q2, CQ):
         raise TypeError("decide_cq_containment expects CQs; use "
                         "decide_ucq_containment for unions")
     _check_arity(q1, q2)
-    cls = classify(semiring)
+    ctx = context or DEFAULT_CONTEXT
+    cls = ctx.classify(semiring)
 
     # A plain homomorphism Q2 → Q1 is necessary over EVERY positive
     # semiring (Sec. 3.3), giving a universal fast refutation.
-    witness = find_homomorphism(q2, q1, HomKind.PLAIN)
+    witness = ctx.find_homomorphism(q2, q1, HomKind.PLAIN)
     if witness is None:
         return Verdict(False, "no-homomorphism",
                        explanation="no homomorphism Q2 → Q1 exists, which "
@@ -75,31 +83,37 @@ def decide_cq_containment(q1: CQ, q2: CQ, semiring) -> Verdict:
         return Verdict(holds, "homomorphic-covering",
                        explanation=f"{semiring.name} ∈ Chcov (Thm. 4.3)")
     if cls.c_in:
-        mapping = find_homomorphism(q2, q1, HomKind.INJECTIVE)
+        mapping = ctx.find_homomorphism(q2, q1, HomKind.INJECTIVE)
         return Verdict(mapping is not None, "injective-homomorphism",
                        certificate=mapping,
                        explanation=f"{semiring.name} ∈ Cin (Thm. 4.9)")
     if cls.c_sur:
-        mapping = find_homomorphism(q2, q1, HomKind.SURJECTIVE)
+        mapping = ctx.find_homomorphism(q2, q1, HomKind.SURJECTIVE)
         return Verdict(mapping is not None, "surjective-homomorphism",
                        certificate=mapping,
                        explanation=f"{semiring.name} ∈ Csur (Thm. 4.14)")
     if cls.c_bi:
-        mapping = find_homomorphism(q2, q1, HomKind.BIJECTIVE)
+        mapping = ctx.find_homomorphism(q2, q1, HomKind.BIJECTIVE)
         return Verdict(mapping is not None, "bijective-homomorphism",
                        certificate=mapping,
                        explanation=f"{semiring.name} ∈ Cbi (Thm. 4.10)")
     # No CQ-specific characterization: the UCQ machinery (on singleton
     # unions) and the small-model procedure still apply.
-    return decide_ucq_containment(UCQ((q1,)), UCQ((q2,)), semiring)
+    return decide_ucq_containment(UCQ((q1,)), UCQ((q2,)), semiring,
+                                  context=ctx)
 
 
-def decide_ucq_containment(q1, q2, semiring) -> Verdict:
-    """Decide ``Q1 ⊆K Q2`` for unions of conjunctive queries."""
+def decide_ucq_containment(q1, q2, semiring, *,
+                           context: DecisionContext | None = None) -> Verdict:
+    """Decide ``Q1 ⊆K Q2`` for unions of conjunctive queries.
+
+    ``context`` is forwarded as in :func:`decide_cq_containment`.
+    """
     q1, q2 = as_ucq(q1), as_ucq(q2)
     if not q1.is_empty() and not q2.is_empty():
         _check_arity(q1, q2)
-    cls = classify(semiring)
+    ctx = context or DEFAULT_CONTEXT
+    cls = ctx.classify(semiring)
 
     if q1.is_empty():
         return Verdict(True, "empty-union",
@@ -108,7 +122,8 @@ def decide_ucq_containment(q1, q2, semiring) -> Verdict:
     # Universal fast refutation: each member of Q1 needs some member of
     # Q2 with a plain homomorphism to it (evaluate both sides on the
     # canonical instance of the uncovered member, all annotations 1).
-    if not local_condition(q2, q1, HomKind.PLAIN):
+    if not local_condition(q2, q1, HomKind.PLAIN,
+                           finder=ctx.has_homomorphism):
         return Verdict(False, "no-local-homomorphism",
                        explanation="some member of Q1 admits no "
                                    "homomorphism from any member of Q2; "
@@ -118,7 +133,8 @@ def decide_ucq_containment(q1, q2, semiring) -> Verdict:
         return Verdict(True, "local-homomorphism",
                        explanation=f"{semiring.name} ∈ Chom (Thm. 5.2)")
     if cls.c1_in:
-        holds = local_condition(q2, q1, HomKind.INJECTIVE)
+        holds = local_condition(q2, q1, HomKind.INJECTIVE,
+                                finder=ctx.has_homomorphism)
         return Verdict(holds, "local-injective",
                        explanation=f"{semiring.name} ∈ C1in (Thm. 5.6)")
     if cls.c1_hcov:
@@ -132,7 +148,8 @@ def decide_ucq_containment(q1, q2, semiring) -> Verdict:
                        explanation=f"{semiring.name} ∈ C2hcov "
                                    "(Thm. 5.24, k = 2)")
     if cls.c1_sur:
-        holds = local_condition(q2, q1, HomKind.SURJECTIVE)
+        holds = local_condition(q2, q1, HomKind.SURJECTIVE,
+                                finder=ctx.has_homomorphism)
         return Verdict(holds, "local-surjective",
                        explanation=f"{semiring.name} ∈ C1sur (Cor. 5.18)")
     if cls.c_inf_sur:
@@ -140,7 +157,8 @@ def decide_ucq_containment(q1, q2, semiring) -> Verdict:
         return Verdict(holds, "sur-infty-matching",
                        explanation=f"{semiring.name} ∈ C∞sur (Thm. 5.17)")
     if cls.c1_bi:
-        holds = local_condition(q2, q1, HomKind.BIJECTIVE)
+        holds = local_condition(q2, q1, HomKind.BIJECTIVE,
+                                finder=ctx.has_homomorphism)
         return Verdict(holds, "local-bijective",
                        explanation=f"{semiring.name} ∈ C1bi "
                                    "(Thm. 5.13, k = 1)")
@@ -159,11 +177,11 @@ def decide_ucq_containment(q1, q2, semiring) -> Verdict:
         return Verdict(holds, "small-model",
                        explanation=f"{semiring.name}: canonical-instance "
                                    "polynomial comparison (Thm. 4.17)")
-    return _bounded_verdict(q1, q2, semiring, cls)
+    return _bounded_verdict(q1, q2, semiring, cls, ctx)
 
 
-def _bounded_verdict(q1: UCQ, q2: UCQ, semiring,
-                     cls: Classification) -> Verdict:
+def _bounded_verdict(q1: UCQ, q2: UCQ, semiring, cls: Classification,
+                     ctx: DecisionContext) -> Verdict:
     """Best-effort verdict from the known necessary and sufficient
     conditions when no exact procedure exists (e.g. bag semantics)."""
     props = semiring.properties
@@ -175,10 +193,12 @@ def _bounded_verdict(q1: UCQ, q2: UCQ, semiring,
         necessary.append(("Q2 ⇉1 Q1", covering_union(q2, q1)))
     if props.in_nsur:
         necessary.append(
-            ("։1 locally", local_condition(q2, q1, HomKind.SURJECTIVE)))
+            ("։1 locally", local_condition(q2, q1, HomKind.SURJECTIVE,
+                                           finder=ctx.has_homomorphism)))
     if props.in_nin:
         necessary.append(
-            ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE)))
+            ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE,
+                                           finder=ctx.has_homomorphism)))
     for description, holds in necessary:
         if not holds:
             return Verdict(False, "necessary-condition",
@@ -195,7 +215,8 @@ def _bounded_verdict(q1: UCQ, q2: UCQ, semiring,
         sufficient.append((f"⇉{k} (Prop. 5.21)", condition))
     if cls.s_in:
         sufficient.append(
-            ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE)))
+            ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE,
+                                           finder=ctx.has_homomorphism)))
     offset = cls.offset
     k_label = "∞" if math.isinf(offset) else str(int(offset))
     sufficient.append(
@@ -219,17 +240,20 @@ def _bounded_verdict(q1: UCQ, q2: UCQ, semiring,
     )
 
 
-def k_equivalent(q1, q2, semiring) -> Verdict:
+def k_equivalent(q1, q2, semiring, *,
+                 context: DecisionContext | None = None) -> Verdict:
     """Decide ``Q1 ≡K Q2`` via mutual containment (requirement (C2))."""
-    forward = (decide_cq_containment(q1, q2, semiring)
+    forward = (decide_cq_containment(q1, q2, semiring, context=context)
                if isinstance(q1, CQ) and isinstance(q2, CQ)
-               else decide_ucq_containment(q1, q2, semiring))
+               else decide_ucq_containment(q1, q2, semiring,
+                                           context=context))
     if forward.result is False:
         return Verdict(False, forward.method, certificate=forward.certificate,
                        explanation=f"Q1 ⊆K Q2 fails: {forward.explanation}")
-    backward = (decide_cq_containment(q2, q1, semiring)
+    backward = (decide_cq_containment(q2, q1, semiring, context=context)
                 if isinstance(q1, CQ) and isinstance(q2, CQ)
-                else decide_ucq_containment(q2, q1, semiring))
+                else decide_ucq_containment(q2, q1, semiring,
+                                            context=context))
     if backward.result is False:
         return Verdict(False, backward.method,
                        certificate=backward.certificate,

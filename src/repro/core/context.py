@@ -1,0 +1,45 @@
+"""Pluggable primitive-operation provider for the decision procedures.
+
+The Table-1 dispatch in :mod:`repro.core.containment` is built from two
+expensive primitives: semiring classification and homomorphism search.
+:class:`DecisionContext` routes both through one object so callers (most
+notably :class:`repro.api.ContainmentEngine`) can interpose caches
+without the core procedures knowing anything about caching policy.  The
+default context simply delegates to the plain functions, so existing
+call sites are unaffected.
+"""
+
+from __future__ import annotations
+
+from ..homomorphisms.search import HomKind, find_homomorphism
+from .classes import Classification, classify
+
+__all__ = ["DecisionContext", "DEFAULT_CONTEXT"]
+
+
+class DecisionContext:
+    """Provides classification and homomorphism search to the dispatch.
+
+    Subclasses may memoize; implementations must be semantically
+    transparent (same answers as the plain functions).
+    """
+
+    def classify(self, semiring) -> Classification:
+        """Compute (or recall) the Table-1 classification of a semiring."""
+        return classify(semiring)
+
+    def find_homomorphism(self, source, target, kind: HomKind):
+        """Search for a ``kind`` homomorphism ``source → target``.
+
+        Returns a variable mapping or ``None``, exactly like
+        :func:`repro.homomorphisms.find_homomorphism`.
+        """
+        return find_homomorphism(source, target, kind)
+
+    def has_homomorphism(self, source, target, kind: HomKind) -> bool:
+        """Existence check derived from :meth:`find_homomorphism`."""
+        return self.find_homomorphism(source, target, kind) is not None
+
+
+#: Shared stateless default used when no context is supplied.
+DEFAULT_CONTEXT = DecisionContext()

@@ -50,11 +50,16 @@ __all__ = [
 
 
 def local_condition(source: UCQ | CQ, target: UCQ | CQ,
-                    kind: HomKind) -> bool:
-    """``Q2 (hom-kind)1 Q1``: each target member has a source preimage."""
+                    kind: HomKind, finder=None) -> bool:
+    """``Q2 (hom-kind)1 Q1``: each target member has a source preimage.
+
+    ``finder`` optionally overrides the existence check (signature of
+    :func:`has_homomorphism`) so callers can interpose a cache.
+    """
     source, target = as_ucq(source), as_ucq(target)
+    exists = finder or has_homomorphism
     return all(
-        any(has_homomorphism(cq2, cq1, kind) for cq2 in source)
+        any(exists(cq2, cq1, kind) for cq2 in source)
         for cq1 in target
     )
 

@@ -19,21 +19,33 @@ from .ccq import CQWithInequalities
 from .cq import CQ
 from .ucq import UCQ
 
-__all__ = ["query_to_dict", "query_from_dict"]
+__all__ = ["query_to_dict", "query_from_dict", "term_to_dict",
+           "term_from_dict"]
 
 
-def _term_to_dict(term) -> dict:
+def term_to_dict(term) -> dict:
+    """Serialize one term: ``{"var": name}`` or ``{"const": value}``.
+
+    The single wire encoding for terms, shared by query serialization
+    and the certificate documents of :mod:`repro.api.documents`.
+    """
     if is_var(term):
         return {"var": term.name}
     return {"const": term}
 
 
-def _term_from_dict(data: dict):
+def term_from_dict(data: dict):
+    """Inverse of :func:`term_to_dict`."""
     if "var" in data:
         return Var(data["var"])
     if "const" in data:
         return data["const"]
     raise ValueError(f"not a term: {data!r}")
+
+
+# Back-compat private aliases (internal callers predate the public names).
+_term_to_dict = term_to_dict
+_term_from_dict = term_from_dict
 
 
 def query_to_dict(query) -> dict[str, Any]:

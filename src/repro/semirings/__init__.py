@@ -21,7 +21,8 @@ from .properties import (AuditReport, audit, audit_declared_axioms,
                          audit_positivity, audit_semiring_laws)
 from .provenance import BX, N2X, N3X, NX, ProvenancePolynomialSemiring
 from .rationals import RPLUS, NonNegativeRationalSemiring
-from .registry import ALL_SEMIRINGS, get_semiring
+from .registry import (ALL_SEMIRINGS, DEFAULT_REGISTRY, SemiringRegistry,
+                       get_semiring)
 from .ssur_free import SSUR, SsurFreeSemiring
 from .trio import TRIO, TrioSemiring
 from .tropical import (TMINUS, TPLUS, TropicalMaxPlusSemiring,
@@ -33,12 +34,13 @@ __all__ = [
     "ACCESS", "ALL_SEMIRINGS", "AbsorptivePolynomialSemiring",
     "AccessControlSemiring", "AuditReport", "B", "BOTTOM", "BX",
     "BooleanSemiring", "EVENTS", "EventSemiring", "FUZZY", "FuzzySemiring",
-    "INFINITE_OFFSET", "LEVELS", "LIN", "LIN_X_N2", "LUKASIEWICZ", "LineageSemiring", "ProductSemiring",
+    "DEFAULT_REGISTRY", "INFINITE_OFFSET", "LEVELS", "LIN", "LIN_X_N2",
+    "LUKASIEWICZ", "LineageSemiring", "ProductSemiring",
     "LukasiewiczSemiring", "N", "N2X", "N2_SATURATING", "N3X",
     "N3_SATURATING", "NX", "NaturalSemiring", "NonNegativeRationalSemiring",
     "POSBOOL", "PosBoolSemiring", "ProvenancePolynomialSemiring", "RPLUS",
     "SORP", "SSUR", "SaturatingNaturalSemiring", "Semiring",
-    "SemiringProperties", "SsurFreeSemiring",
+    "SemiringProperties", "SemiringRegistry", "SsurFreeSemiring",
     "TMINUS", "TPLUS", "TRIO", "TrioSemiring", "TropicalMaxPlusSemiring",
     "TropicalMinPlusSemiring", "VITERBI", "ViterbiSemiring", "WHY",
     "WhySemiring", "audit", "audit_declared_axioms", "audit_positivity",

@@ -1,11 +1,21 @@
-"""Registry of all built-in annotation semirings.
+"""Registry of annotation semirings.
 
-The registry drives the parameterized test suites, the classification
+:class:`SemiringRegistry` is a mutable, dict-backed name → semiring map
+with alias support, case-insensitive fallback and "did you mean"
+suggestions on a miss.  :data:`DEFAULT_REGISTRY` holds every built-in
+semiring and drives the parameterized test suites, the classification
 benchmark (Table 1 membership matrix) and name-based lookup in the
-examples.
+examples; :class:`~repro.api.ContainmentEngine` instances start from a
+copy of it, so per-engine registrations never leak globally.
+
+``ALL_SEMIRINGS`` and :func:`get_semiring` are kept as thin back-compat
+shims over the default registry.
 """
 
 from __future__ import annotations
+
+import difflib
+from typing import Iterable, Iterator, Mapping
 
 from .absorptive import SORP, AbsorptivePolynomialSemiring
 from .access import ACCESS, AccessControlSemiring
@@ -28,7 +38,11 @@ from .tropical import (TMINUS, TPLUS, TropicalMaxPlusSemiring,
 from .viterbi import VITERBI, ViterbiSemiring
 from .why import WHY, WhySemiring
 
-#: Every built-in semiring instance, in presentation order.
+__all__ = ["ALL_SEMIRINGS", "DEFAULT_REGISTRY", "SemiringRegistry",
+           "get_semiring"]
+
+#: Every built-in semiring instance, in presentation order (back-compat
+#: shim; new code should iterate a :class:`SemiringRegistry`).
 ALL_SEMIRINGS: tuple[Semiring, ...] = (
     B,
     POSBOOL,
@@ -55,14 +69,196 @@ ALL_SEMIRINGS: tuple[Semiring, ...] = (
     RPLUS,
 )
 
+#: Human-friendly alternative names for the built-in semirings.
+_DEFAULT_ALIASES: dict[str, tuple[str, ...]] = {
+    "B": ("bool", "boolean", "set"),
+    "N": ("bag", "nat", "counting"),
+    "T+": ("tropical", "min-plus", "cost"),
+    "T-": ("max-plus", "schedule"),
+    "N[X]": ("provenance", "prov", "polynomials"),
+    "Why[X]": ("why",),
+    "Lin[X]": ("lineage",),
+    "Trio[X]": ("trio",),
+    "F": ("fuzzy",),
+    "V": ("viterbi",),
+    "A": ("access",),
+    "L": ("lukasiewicz",),
+    "R+": ("rationals", "prob-weights"),
+}
+
+
+class SemiringRegistry:
+    """A mutable name → :class:`Semiring` map with aliases.
+
+    Lookup tries the exact name, then aliases, then a case-insensitive
+    fallback over both.  A miss raises ``KeyError`` listing the
+    available canonical names plus a closest-name suggestion.
+
+    The registry tracks a monotonically increasing :attr:`version`,
+    bumped by :meth:`register`, so caches layered above it
+    (classification, verdicts) can detect semiring mutation and
+    invalidate themselves; alias edits do not bump it because those
+    caches key by semiring instance.
+    """
+
+    def __init__(self, semirings: Iterable[Semiring] = (),
+                 aliases: Mapping[str, Iterable[str]] | None = None):
+        self._by_name: dict[str, Semiring] = {}
+        self._aliases: dict[str, str] = {}   # alias → canonical name
+        self._version = 0
+        for semiring in semirings:
+            self.register(semiring)
+        for name, alts in (aliases or {}).items():
+            self.alias(name, *alts)
+
+    # -- mutation -------------------------------------------------------
+
+    def register(self, semiring: Semiring, *,
+                 aliases: Iterable[str] = (),
+                 replace: bool = False) -> Semiring:
+        """Add ``semiring`` under its :attr:`~Semiring.name`.
+
+        Re-registering an existing name — or registering a name that
+        would shadow an existing alias (canonical names win on lookup)
+        — raises ``ValueError`` unless ``replace=True``, which also
+        drops the shadowed alias binding.  Returns the semiring for
+        chaining.
+        """
+        name = semiring.name
+        aliases = tuple(aliases)
+        if not replace:
+            if name in self._by_name:
+                raise ValueError(f"semiring {name!r} is already "
+                                 "registered; pass replace=True to "
+                                 "override")
+            if name in self._aliases:
+                raise ValueError(
+                    f"semiring name {name!r} would shadow an alias of "
+                    f"{self._aliases[name]!r}; pass replace=True to "
+                    "rebind it")
+        # Validate everything before mutating, so a failed register
+        # leaves the registry (and dependent caches) untouched.
+        for alias in aliases:
+            self._validate_alias(alias, name, replace, pending_name=name)
+        self._aliases.pop(name, None)
+        self._by_name[name] = semiring
+        self._version += 1
+        for alias in aliases:
+            self._aliases[alias] = name
+        return semiring
+
+    def _validate_alias(self, alias: str, name: str, replace: bool, *,
+                        pending_name: str | None = None) -> None:
+        """Reject alias bindings that could never take effect or would
+        silently rebind an established name."""
+        if alias in self._by_name or alias == pending_name:
+            raise ValueError(
+                f"alias {alias!r} collides with a registered semiring "
+                "name; canonical names always win on lookup, so the "
+                "alias could never take effect")
+        if not replace:
+            bound = self._aliases.get(alias)
+            if bound is not None and bound != name:
+                raise ValueError(
+                    f"alias {alias!r} is already bound to {bound!r}; "
+                    "pass replace=True to rebind it")
+
+    def alias(self, name: str, *aliases: str, replace: bool = False) -> None:
+        """Declare alternative lookup names for a registered semiring.
+
+        Rebinding an alias that already points at a *different*
+        semiring raises ``ValueError`` unless ``replace=True``; an
+        alias equal to a registered canonical name is always rejected
+        (canonical names win on lookup, so it would be a dead binding).
+        Validation happens before any mutation — a failing call is a
+        no-op.
+        """
+        if name not in self._by_name:
+            raise KeyError(f"cannot alias unregistered semiring {name!r}")
+        for alias in aliases:
+            self._validate_alias(alias, name, replace)
+        for alias in aliases:
+            self._aliases[alias] = name
+        # No version bump: caches layered above the registry are keyed
+        # by semiring *instances*, which alias edits cannot affect.
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> Semiring:
+        """Look up a semiring by canonical name or alias.
+
+        Falls back to a case-insensitive match; raises ``KeyError`` with
+        the available names and a "did you mean" suggestion on a miss.
+        """
+        found = self.find(name)
+        if found is not None:
+            return found
+        message = f"unknown semiring {name!r}; available: " \
+                  f"{', '.join(self.names())}"
+        candidates = list(self._by_name) + list(self._aliases)
+        close = difflib.get_close_matches(name, candidates, n=1,
+                                          cutoff=0.5)
+        if close:
+            message += f"; did you mean {close[0]!r}?"
+        raise KeyError(message)
+
+    def find(self, name: str) -> Semiring | None:
+        """Like :meth:`get` but returns ``None`` on a miss."""
+        semiring = self._by_name.get(name)
+        if semiring is not None:
+            return semiring
+        canonical = self._aliases.get(name)
+        if canonical is not None:
+            return self._by_name[canonical]
+        folded = name.casefold()
+        for known, semiring in self._by_name.items():
+            if known.casefold() == folded:
+                return semiring
+        for alias, canonical in self._aliases.items():
+            if alias.casefold() == folded:
+                return self._by_name[canonical]
+        return None
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names, in registration order."""
+        return tuple(self._by_name)
+
+    def semirings(self) -> tuple[Semiring, ...]:
+        """Registered semirings, in registration order."""
+        return tuple(self._by_name.values())
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every :meth:`register` call."""
+        return self._version
+
+    def copy(self) -> "SemiringRegistry":
+        """An independent copy (mutations do not propagate back)."""
+        clone = SemiringRegistry()
+        clone._by_name = dict(self._by_name)
+        clone._aliases = dict(self._aliases)
+        return clone
+
+    # -- dunder ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Semiring]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.find(name) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SemiringRegistry {', '.join(self._by_name)}>"
+
+
+#: The registry of built-in semirings (shared process-wide; engines
+#: copy it so their registrations stay local).
+DEFAULT_REGISTRY = SemiringRegistry(ALL_SEMIRINGS, aliases=_DEFAULT_ALIASES)
+
 
 def get_semiring(name: str) -> Semiring:
-    """Look up a registered semiring by its display name.
-
-    Raises ``KeyError`` with the available names on a miss.
-    """
-    for semiring in ALL_SEMIRINGS:
-        if semiring.name == name:
-            return semiring
-    available = ", ".join(s.name for s in ALL_SEMIRINGS)
-    raise KeyError(f"unknown semiring {name!r}; available: {available}")
+    """Back-compat shim: look up ``name`` in :data:`DEFAULT_REGISTRY`."""
+    return DEFAULT_REGISTRY.get(name)

@@ -1,0 +1,246 @@
+"""Caching and registry semantics of :class:`repro.api.ContainmentEngine`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ContainmentEngine, ContainmentRequest
+from repro.semirings import DEFAULT_REGISTRY, SemiringRegistry
+from repro.semirings.boolean import BooleanSemiring
+
+Q1 = "Q() :- R(u, v), R(u, w)"
+Q2 = "Q() :- R(u, v), R(u, v)"
+
+
+class RenamedBoolean(BooleanSemiring):
+    name = "B2"
+
+
+def test_classification_computed_once_per_semiring():
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "B")
+    engine.decide(Q2, Q1, "B")
+    engine.decide("Q() :- R(x, y)", "Q() :- R(x, x)", "B")
+    assert engine.stats.classify_calls == 1
+    assert engine.stats.classify_hits >= 2
+    engine.decide(Q1, Q2, "N[X]")
+    assert engine.stats.classify_calls == 2
+
+
+def test_verdict_cache_hit_on_repeated_decide():
+    engine = ContainmentEngine()
+    first = engine.decide(Q1, Q2, "B")
+    second = engine.decide(Q1, Q2, "B")
+    assert engine.stats.verdict_hits == 1
+    assert not first.cached and second.cached
+    assert second.result is first.result
+    # Per-request metadata is fresh on a hit.
+    third = engine.decide(Q1, Q2, "B", request_id="r3")
+    assert third.cached and third.request_id == "r3"
+
+
+def test_hom_search_cache_shared_across_semirings():
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "B")       # needs the plain hom Q2 → Q1
+    assert engine.stats.hom_calls >= 1
+    before = engine.stats.hom_calls
+    engine.decide(Q1, Q2, "N[X]")    # same plain hom, different semiring
+    assert engine.stats.hom_hits >= 1
+    # The bijective search is new, so at most one extra real search ran.
+    assert engine.stats.hom_calls <= before + 1
+
+
+def test_parse_interning_returns_same_object():
+    engine = ContainmentEngine()
+    assert engine.parse(Q1) is engine.parse(Q1)
+    assert engine.stats.parse_calls == 1
+    assert engine.stats.parse_hits == 1
+
+
+def test_register_semiring_invalidates_semiring_caches():
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "B")
+    assert engine.cache_info()["classification_entries"] == 1
+    assert engine.cache_info()["verdict_entries"] == 1
+    hom_entries = engine.cache_info()["hom_entries"]
+    engine.register_semiring(RenamedBoolean(), aliases=("bool2",))
+    info = engine.cache_info()
+    assert info["classification_entries"] == 0
+    assert info["verdict_entries"] == 0
+    # The homomorphism cache is structural and survives.
+    assert info["hom_entries"] == hom_entries
+    # The next decide recomputes the classification.
+    engine.decide(Q1, Q2, "B")
+    assert engine.stats.classify_calls == 2
+    # The new name and alias resolve on this engine...
+    assert engine.semiring("B2").name == "B2"
+    assert engine.semiring("bool2").name == "B2"
+    assert engine.decide(Q1, Q2, "B2").result is True
+    # ...but never leak into the process-wide default registry.
+    assert "B2" not in DEFAULT_REGISTRY
+
+
+def test_external_registry_mutation_detected():
+    registry = DEFAULT_REGISTRY.copy()
+    engine = ContainmentEngine(registry)
+    engine.decide(Q1, Q2, "B")
+    registry.register(RenamedBoolean())
+    engine.decide(Q1, Q2, "B")
+    assert engine.stats.classify_calls == 2  # cache was dropped
+
+
+def test_registry_duplicate_rejected_unless_replace():
+    registry = SemiringRegistry()
+    registry.register(RenamedBoolean())
+    with pytest.raises(ValueError):
+        registry.register(RenamedBoolean())
+    registry.register(RenamedBoolean(), replace=True)
+    assert len(registry) == 1
+
+
+def test_register_cannot_silently_shadow_alias():
+    class BagNamedBoolean(BooleanSemiring):
+        name = "bag"  # collides with the built-in alias for N
+
+    engine = ContainmentEngine()
+    assert engine.semiring("bag").name == "N"
+    with pytest.raises(ValueError, match="alias"):
+        engine.register_semiring(BagNamedBoolean())
+    assert engine.semiring("bag").name == "N"  # binding untouched
+    engine.register_semiring(BagNamedBoolean(), replace=True)
+    assert engine.semiring("bag").name == "bag"  # explicit takeover
+
+
+def test_alias_edits_do_not_flush_engine_caches():
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "B")
+    engine.registry.alias("B", "mybool")
+    repeat = engine.decide(Q1, Q2, "mybool")
+    assert repeat.cached                       # verdict cache survived
+    assert engine.stats.classify_calls == 1    # classification too
+
+
+def test_batch_unknown_semiring_error_is_unquoted():
+    from repro.api import process_lines
+
+    engine = ContainmentEngine()
+    line = '{"semiring": "nosuch", "q1": "Q() :- R(x)", "q2": "Q() :- R(x)"}'
+    (out,) = list(process_lines(engine, [line]))
+    assert not out["error"].startswith('"')    # no str(KeyError) repr quotes
+    assert out["error"].startswith("unknown semiring")
+
+
+def test_alias_rebinding_requires_replace():
+    registry = DEFAULT_REGISTRY.copy()
+    with pytest.raises(ValueError, match="already bound"):
+        registry.alias("B", "bag")  # 'bag' belongs to N
+    registry.alias("B", "bag", replace=True)
+    assert registry.get("bag").name == "B"
+    registry.alias("B", "bool")  # re-declaring the same binding is fine
+
+
+def test_alias_over_canonical_name_always_rejected():
+    registry = DEFAULT_REGISTRY.copy()
+    # Canonical names win on lookup, so such an alias would be a dead
+    # binding — rejected even with replace=True.
+    with pytest.raises(ValueError, match="never take effect"):
+        registry.alias("B", "N")
+    with pytest.raises(ValueError, match="never take effect"):
+        registry.alias("B", "N", replace=True)
+    assert registry.get("N").name == "N"
+
+
+def test_failed_register_is_a_noop():
+    class Custom(BooleanSemiring):
+        name = "Custom"
+
+    engine = ContainmentEngine()
+    version = engine.registry.version
+    with pytest.raises(ValueError, match="already bound"):
+        engine.register_semiring(Custom(), aliases=("bag",))
+    assert "Custom" not in engine.registry       # nothing half-applied
+    assert engine.registry.version == version    # caches not flushed
+    engine.register_semiring(Custom())           # clean retry succeeds
+    assert engine.semiring("Custom").name == "Custom"
+
+
+def test_registry_lookup_alias_case_and_suggestion():
+    engine = ContainmentEngine()
+    assert engine.semiring("boolean").name == "B"
+    assert engine.semiring("n[x]").name == "N[X]"
+    assert engine.semiring("TROPICAL").name == "T+"
+    with pytest.raises(KeyError, match="did you mean"):
+        engine.semiring("N[Y]")
+    with pytest.raises(KeyError, match="available"):
+        engine.semiring("totally-bogus-name-zzz")
+
+
+def test_verdict_cache_distinguishes_same_named_semirings():
+    from repro.semirings import N
+
+    class BagNamedBoolean(BooleanSemiring):
+        name = "N"
+
+    engine = ContainmentEngine()
+    open_verdict = engine.decide(Q1, Q2, N)          # the real bag semiring
+    assert open_verdict.result is None
+    impostor = engine.decide(Q1, Q2, BagNamedBoolean())
+    assert impostor.result is True                   # Boolean semantics
+    assert not impostor.cached
+
+
+def test_hom_lru_evicts_at_capacity():
+    engine = ContainmentEngine(hom_cache_size=1)
+    engine.decide(Q1, Q2, "B")
+    engine.decide("Q() :- S(x)", "Q() :- S(y)", "B")
+    assert engine.cache_info()["hom_entries"] == 1
+
+
+def test_decide_many_preserves_order_and_ids():
+    engine = ContainmentEngine()
+    requests = [
+        ContainmentRequest.make(Q1, Q2, "B", id="a"),
+        {"semiring": "N", "q1": Q1, "q2": Q2, "id": "b"},
+        ContainmentRequest.make(Q2, Q1, "B", id="c", equivalence=True),
+    ]
+    documents = engine.decide_many(requests)
+    assert [doc.request_id for doc in documents] == ["a", "b", "c"]
+    assert documents[0].result is True
+    assert documents[1].result is None
+    # Over B the Ex. 4.6 pair is equivalent (homomorphisms both ways).
+    assert documents[2].result is True
+
+
+def test_decide_accepts_objects_text_lists_and_dicts():
+    from repro.queries import parse_cq, parse_ucq
+    from repro.queries.serialize import query_to_dict
+
+    engine = ContainmentEngine()
+    cq1, cq2 = parse_cq(Q1), parse_cq(Q2)
+    by_text = engine.decide(Q1, Q2, "B")
+    by_object = engine.decide(cq1, cq2, "B")
+    by_list = engine.decide([Q1], [Q2], "B")
+    by_dict = engine.decide(query_to_dict(cq1), query_to_dict(cq2), "B")
+    by_union = engine.decide(parse_ucq([Q1]), parse_ucq([Q2]), "B")
+    assert {d.result for d in (by_text, by_object, by_list, by_dict,
+                               by_union)} == {True}
+    # All five were the same canonical question: four verdict-cache hits.
+    assert engine.stats.verdict_hits == 4
+
+
+def test_request_rejects_semiring_instances():
+    from repro.semirings import B
+
+    with pytest.raises(TypeError, match="semiring name"):
+        ContainmentRequest.make(Q1, Q2, B)
+
+
+def test_equivalence_goes_both_ways():
+    engine = ContainmentEngine()
+    same = engine.decide("Q() :- R(x, y)", "Q() :- R(a, b)", "B",
+                         equivalence=True)
+    assert same.result is True
+    assert "+" in same.method
+    different = engine.decide("Q() :- R(x, y)", "Q() :- R(x, x)", "B",
+                              equivalence=True)
+    assert different.result is False

@@ -70,9 +70,88 @@ def test_contain_undecided_exit_code(capsys):
 
 
 def test_contain_missing_queries(capsys):
+    # argparse enforces --q1/--q2 (exit code 2, usage on stderr).
     code, _, err = run_cli(capsys, "contain", "--semiring", "B")
+    assert code == 2
+    assert "required" in err and "--q1" in err
+
+
+def test_contain_json_flag(capsys):
+    import json
+
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "B", "--json",
+        "--q1", "Q() :- R(u, v), R(u, w)",
+        "--q2", "Q() :- R(u, v), R(u, v)")
+    assert code == 0
+    document = json.loads(out)
+    assert document["result"] is True
+    assert document["method"] == "homomorphism"
+    assert document["answer"] == "CONTAINED"
+    from repro.api import VerdictDocument
+    assert VerdictDocument.from_dict(document).result is True
+
+
+def test_contain_json_explain_combined(capsys):
+    import json
+
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "N[X]", "--json", "--explain",
+        "--q1", "Q() :- R(u, v), R(u, w)",
+        "--q2", "Q() :- R(u, v), R(u, v)")
+    assert code == 0
+    document = json.loads(out)
+    assert document["result"] is False
+    assert "summary" in document["explain"]
+    assert "instance" in document["explain"]["witness"]
+
+
+def test_contain_semiring_alias(capsys):
+    code, out, _ = run_cli(
+        capsys, "contain", "--semiring", "boolean",
+        "--q1", "Q() :- R(u, v)", "--q2", "Q() :- R(u, u)")
+    assert code == 0
+    assert "CONTAINED" in out
+
+
+def test_unknown_semiring_suggestion(capsys):
+    code, _, err = run_cli(capsys, "classify", "N[x")
     assert code == 1
-    assert "required" in err
+    assert "did you mean" in err
+
+
+def test_batch_subcommand(tmp_path, capsys):
+    import json
+
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text("\n".join([
+        '{"semiring": "B", "q1": "Q() :- R(u, v), R(u, w)", '
+        '"q2": "Q() :- R(u, v), R(u, v)", "id": "r1"}',
+        "# a comment line",
+        '{"semiring": "N", "q1": "Q() :- R(u, v), R(u, w)", '
+        '"q2": "Q() :- R(u, v), R(u, v)", "id": "r2"}',
+    ]) + "\n")
+    code, out, _ = run_cli(capsys, "batch", "--input", str(requests))
+    assert code == 0
+    lines = [json.loads(line) for line in out.splitlines() if line]
+    assert [doc["request_id"] for doc in lines] == ["r1", "r2"]
+    assert lines[0]["result"] is True
+    assert lines[1]["result"] is None and lines[1]["necessary"] is True
+
+
+def test_batch_reports_bad_lines_in_band(tmp_path, capsys):
+    import json
+
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text("\n".join([
+        "this is not json",
+        '{"semiring": "B", "q1": "Q() :- R(x)", "q2": "Q() :- R(x)"}',
+    ]) + "\n")
+    code, out, _ = run_cli(capsys, "batch", "--input", str(requests))
+    assert code == 1  # at least one error line
+    lines = [json.loads(line) for line in out.splitlines() if line]
+    assert "error" in lines[0] and lines[0]["line"] == 1
+    assert lines[1]["result"] is True
 
 
 def test_minimize(capsys):
