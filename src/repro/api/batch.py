@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..queries.parser import ParseError
-from .documents import ContainmentRequest
+from .documents import ContainmentRequest, coerce_request_id
 from .engine import ContainmentEngine
 
 __all__ = ["BatchError", "error_text", "process_lines",
@@ -73,7 +73,10 @@ def requests_from_lines(lines: Iterable[str], *, parse=None
             data = json.loads(text)
             if not isinstance(data, dict):
                 raise ValueError("request line must be a JSON object")
-            request_id = data.get("id")
+            try:
+                request_id = coerce_request_id(data.get("id"))
+            except TypeError:
+                request_id = None  # unusable id: not echoed on errors
             yield lineno, ContainmentRequest.from_dict(data, parse=parse)
         except (ValueError, TypeError, KeyError, ParseError) as error:
             yield lineno, BatchError(lineno, error_text(error),

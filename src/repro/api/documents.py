@@ -26,9 +26,27 @@ from ..queries.parser import parse_cq
 from ..queries.serialize import query_from_dict, query_to_dict, term_to_dict
 from ..queries.ucq import UCQ, as_ucq
 
-__all__ = ["ContainmentRequest", "VerdictDocument", "certificate_to_doc"]
+__all__ = ["ContainmentRequest", "VerdictDocument", "certificate_to_doc",
+           "coerce_request_id"]
 
 _ANSWERS = {True: "CONTAINED", False: "NOT CONTAINED", None: "UNDECIDED"}
+
+
+def coerce_request_id(value) -> str | None:
+    """Normalize a wire-level request id to ``str | None``.
+
+    JSONL writers routinely emit numeric ids (``{"id": 7}``); those are
+    coerced to strings so ``request_id`` stays a string on the wire.
+    Anything else non-string raises instead of being echoed as raw
+    JSON.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    raise TypeError(
+        f"request id must be a string (or an integer, coerced to "
+        f"one), got {type(value).__name__}")
 
 
 def _coerce_query(spec, parse: Callable[[str], CQ]) -> UCQ:
@@ -117,6 +135,7 @@ class ContainmentRequest:
                 f"ContainmentRequest takes a semiring name, got "
                 f"{type(semiring).__name__}; pass the instance to "
                 "engine.decide() or register it and use its name")
+        id = coerce_request_id(id)
         parse = parse or parse_cq
         return cls(_coerce_query(q1, parse), _coerce_query(q2, parse),
                    semiring, equivalence=equivalence, id=id)

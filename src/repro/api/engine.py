@@ -5,17 +5,24 @@ benchmarks go through.  One engine owns:
 
 * a per-engine mutable :class:`~repro.semirings.registry.SemiringRegistry`
   (a copy of the defaults, so ``register_semiring`` stays local);
-* three memoization layers — classification per semiring, parsed-query
-  interning per source text, and an LRU over homomorphism-search
-  results keyed by ``(source, target, HomKind)`` canonical forms — plus
-  a verdict-level LRU, so repeated checks are near-free;
+* memoization layers for every expensive primitive of the Table-1
+  dispatch — classification per semiring, parsed-query interning per
+  source text, and structural LRUs over homomorphism-search results
+  (first mapping and full enumeration, keyed by ``(source, target,
+  HomKind)``), covered-atom sets, and complete descriptions ``⟨Q⟩`` —
+  plus a verdict-level LRU, so repeated checks are near-free;
 * the document types of :mod:`repro.api.documents` for JSON-clean
   input/output, including the streaming batch entry points.
 
+The engine's :class:`CachingDecisionContext` is threaded through the
+whole decision surface (CQ dispatch, UCQ local/covering/counting/
+matching conditions, and the bag-semantics bounds search), so even a
+single cold verdict reuses work across its own sub-conditions.
+
 Registering (or replacing) a semiring bumps the registry's version;
 the engine detects the bump and drops its semiring-dependent caches
-(classification, verdicts).  The homomorphism cache is purely
-structural — it only mentions queries — and survives.
+(classification, verdicts).  The structural caches — homomorphisms,
+covered atoms, descriptions — only mention queries and survive.
 """
 
 from __future__ import annotations
@@ -28,7 +35,9 @@ from ..core.classes import Classification, classify
 from ..core.containment import (decide_cq_containment,
                                 decide_ucq_containment, k_equivalent)
 from ..core.context import DecisionContext
-from ..homomorphisms.search import HomKind, find_homomorphism
+from ..homomorphisms.covering import covered_atoms
+from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
+from ..queries.ccq import complete_description_ucq
 from ..queries.cq import CQ
 from ..queries.parser import parse_cq
 from ..semirings.base import Semiring
@@ -56,6 +65,12 @@ class EngineStats:
     parse_hits: int = 0
     hom_calls: int = 0
     hom_hits: int = 0
+    hom_enum_calls: int = 0
+    hom_enum_hits: int = 0
+    cover_calls: int = 0
+    cover_hits: int = 0
+    description_calls: int = 0
+    description_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (for logs and reports)."""
@@ -92,7 +107,14 @@ class _LRU:
 
 
 class CachingDecisionContext(DecisionContext):
-    """A :class:`DecisionContext` that routes through an engine's caches."""
+    """A :class:`DecisionContext` that routes through an engine's caches.
+
+    Every primitive of the widened context contract — classification,
+    homomorphism existence and enumeration, covered atoms, covering,
+    and complete descriptions — recalls the owning engine's LRUs, so
+    the covering/UCQ/bounds code paths share work with the top-level
+    dispatch (and with each other) instead of recomputing searches.
+    """
 
     def __init__(self, engine: "ContainmentEngine"):
         self._engine = engine
@@ -105,28 +127,47 @@ class CachingDecisionContext(DecisionContext):
         """Homomorphism search via the engine's LRU."""
         return self._engine.find_homomorphism(source, target, kind)
 
+    def homomorphism_mappings(self, source, target,
+                              kind: HomKind) -> tuple[dict, ...]:
+        """Full enumeration via the engine's LRU."""
+        return self._engine.homomorphism_mappings(source, target, kind)
+
+    def covered_atoms(self, source, target) -> frozenset:
+        """Covered-atom sets via the engine's LRU."""
+        return self._engine.covered_atoms(source, target)
+
+    def complete_description(self, union) -> tuple:
+        """Complete descriptions ``⟨Q⟩`` via the engine's LRU."""
+        return self._engine.complete_description(union)
+
 
 class ContainmentEngine:
     """Cached facade over the Table-1 containment decision procedures.
 
     ``registry`` defaults to a private copy of the built-in semirings;
     pass an explicit :class:`SemiringRegistry` to share one.  The cache
-    sizes bound the three LRU layers (parse interning, homomorphism
-    results, whole verdicts), keeping long-running batch/service
-    workloads at constant memory; only the classification cache is
-    unbounded (one small entry per semiring).
+    sizes bound the LRU layers (parse interning, homomorphism results
+    and enumerations, covered atoms, complete descriptions, whole
+    verdicts), keeping long-running batch/service workloads at constant
+    memory; only the classification cache is unbounded (one small entry
+    per semiring).
     """
 
     def __init__(self, registry: SemiringRegistry | None = None, *,
                  parse_cache_size: int = 8192,
                  hom_cache_size: int = 4096,
-                 verdict_cache_size: int = 4096):
+                 verdict_cache_size: int = 4096,
+                 cover_cache_size: int = 4096,
+                 description_cache_size: int = 2048):
         self.registry = (registry if registry is not None
                          else DEFAULT_REGISTRY.copy())
         self.stats = EngineStats()
         self._classifications: dict[Any, Classification] = {}
         self._parsed: _LRU = _LRU(parse_cache_size)
         self._homs = _LRU(hom_cache_size)
+        self._hom_enums = _LRU(hom_cache_size)
+        self._covered = _LRU(cover_cache_size)
+        self._descriptions = _LRU(description_cache_size)
         self._verdicts = _LRU(verdict_cache_size)
         self._context = CachingDecisionContext(self)
         self._registry_version = self.registry.version
@@ -145,7 +186,8 @@ class ContainmentEngine:
         """Register a semiring on this engine's registry.
 
         Invalidates the semiring-dependent caches (classification and
-        verdicts); the structural homomorphism cache survives.
+        verdicts); the structural caches (homomorphisms, covered atoms,
+        descriptions) survive.
         """
         self.registry.register(semiring, aliases=aliases, replace=replace)
         self._sync()
@@ -175,8 +217,8 @@ class ContainmentEngine:
 
     def parse(self, text: str) -> CQ:
         """Parse CQ source text, interning by the exact source string."""
-        cq = self._parsed.get(text)
-        if cq is None:
+        cq = self._parsed.get(text, _MISSING)
+        if cq is _MISSING:
             self.stats.parse_calls += 1
             cq = parse_cq(text)
             self._parsed.put(text, cq)
@@ -191,9 +233,63 @@ class ContainmentEngine:
         if hit is not _MISSING:
             self.stats.hom_hits += 1
             return hit
+        # A cached full enumeration already knows the first mapping.
+        enumerated = self._hom_enums.get(key, _MISSING)
+        if enumerated is not _MISSING:
+            self.stats.hom_hits += 1
+            result = enumerated[0] if enumerated else None
+            self._homs.put(key, result)
+            return result
         self.stats.hom_calls += 1
         result = find_homomorphism(source, target, kind)
         self._homs.put(key, result)
+        return result
+
+    def has_homomorphism(self, source, target, kind: HomKind) -> bool:
+        """LRU-backed existence check (shares :meth:`find_homomorphism`'s
+        cache entry)."""
+        return self.find_homomorphism(source, target, kind) is not None
+
+    def homomorphism_mappings(self, source, target,
+                              kind: HomKind) -> tuple[dict, ...]:
+        """LRU-cached full homomorphism enumeration.
+
+        Also seeds the first-mapping cache, so a later
+        :meth:`find_homomorphism` on the same key is a hit.
+        """
+        key = (source, target, kind)
+        hit = self._hom_enums.get(key, _MISSING)
+        if hit is not _MISSING:
+            self.stats.hom_enum_hits += 1
+            return hit
+        self.stats.hom_enum_calls += 1
+        result = tuple(homomorphisms(source, target, kind))
+        self._hom_enums.put(key, result)
+        if self._homs.get(key, _MISSING) is _MISSING:
+            self._homs.put(key, result[0] if result else None)
+        return result
+
+    def covered_atoms(self, source, target) -> frozenset:
+        """LRU-cached homomorphic atom coverage (the ``⇉`` primitive)."""
+        key = (source, target)
+        hit = self._covered.get(key, _MISSING)
+        if hit is not _MISSING:
+            self.stats.cover_hits += 1
+            return hit
+        self.stats.cover_calls += 1
+        result = covered_atoms(source, target)
+        self._covered.put(key, result)
+        return result
+
+    def complete_description(self, union) -> tuple:
+        """LRU-cached complete description ``⟨Q⟩`` of a UCQ."""
+        hit = self._descriptions.get(union, _MISSING)
+        if hit is not _MISSING:
+            self.stats.description_hits += 1
+            return hit
+        self.stats.description_calls += 1
+        result = complete_description_ucq(union)
+        self._descriptions.put(union, result)
         return result
 
     # -- deciding -------------------------------------------------------
@@ -215,8 +311,8 @@ class ContainmentEngine:
         # Keyed by the resolved *instance* (identity hash), not its name:
         # two distinct semirings sharing a name must not share verdicts.
         key = (resolved, union1, union2, equivalence)
-        cached = self._verdicts.get(key)
-        if cached is not None:
+        cached = self._verdicts.get(key, _MISSING)
+        if cached is not _MISSING:
             self.stats.verdict_hits += 1
             return cached.with_request(request_id, cached=True)
         singletons = len(union1) == 1 and len(union2) == 1
@@ -265,6 +361,9 @@ class ContainmentEngine:
             classification_entries=len(self._classifications),
             parsed_entries=len(self._parsed),
             hom_entries=len(self._homs),
+            hom_enum_entries=len(self._hom_enums),
+            cover_entries=len(self._covered),
+            description_entries=len(self._descriptions),
             verdict_entries=len(self._verdicts),
         )
         return info
@@ -274,6 +373,9 @@ class ContainmentEngine:
         self._classifications.clear()
         self._parsed.clear()
         self._homs.clear()
+        self._hom_enums.clear()
+        self._covered.clear()
+        self._descriptions.clear()
         self._verdicts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

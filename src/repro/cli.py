@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Sequence
 
@@ -52,11 +53,14 @@ def _parse_fact(text: str, semiring, engine: ContainmentEngine):
     if atom.variables():
         raise ValueError(f"facts must be ground (constants only): {text!r}")
     value_text = value_text.strip()
-    if value_text.lstrip("-").isdigit():
+    if re.fullmatch(r"[+-]?\d+", value_text):
         annotation = semiring.normalize(int(value_text))
-    elif hasattr(semiring, "var"):
+    elif (re.fullmatch(r"[A-Za-z_]\w*", value_text)
+          and hasattr(semiring, "var")):
         annotation = semiring.var(value_text)
     else:
+        # Covers non-integers like "--5" (which int() would reject with
+        # a bare "invalid literal") and non-identifier token names.
         raise ValueError(
             f"cannot parse annotation {value_text!r} for {semiring.name}")
     return atom.relation, atom.terms, annotation
@@ -302,7 +306,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # normal termination for a filter, not an error.  Point stdout
         # at devnull so the interpreter's shutdown flush stays quiet.
         import os
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        try:
+            os.dup2(devnull, sys.stdout.fileno())
+        finally:
+            os.close(devnull)
         return 0
     except (ParseError, ValueError, KeyError, OSError) as error:
         from .api import error_text

@@ -30,7 +30,7 @@ import math
 from typing import Any
 
 from ..homomorphisms.covering import covers
-from ..homomorphisms.search import HomKind, find_homomorphism, has_homomorphism
+from ..homomorphisms.search import HomKind
 from ..homomorphisms.ucq_conditions import (bi_count_infty, bi_count_k,
                                             covering_2, covering_union,
                                             local_condition, sur_infty)
@@ -79,7 +79,7 @@ def decide_cq_containment(q1: CQ, q2: CQ, semiring, *,
         return Verdict(True, "homomorphism", certificate=witness,
                        explanation=f"{semiring.name} ∈ Chom (Thm. 3.3)")
     if cls.c_hcov:
-        holds = covers(q2, q1)
+        holds = covers(q2, q1, context=ctx)
         return Verdict(holds, "homomorphic-covering",
                        explanation=f"{semiring.name} ∈ Chcov (Thm. 4.3)")
     if cls.c_in:
@@ -122,8 +122,7 @@ def decide_ucq_containment(q1, q2, semiring, *,
     # Universal fast refutation: each member of Q1 needs some member of
     # Q2 with a plain homomorphism to it (evaluate both sides on the
     # canonical instance of the uncovered member, all annotations 1).
-    if not local_condition(q2, q1, HomKind.PLAIN,
-                           finder=ctx.has_homomorphism):
+    if not local_condition(q2, q1, HomKind.PLAIN, context=ctx):
         return Verdict(False, "no-local-homomorphism",
                        explanation="some member of Q1 admits no "
                                    "homomorphism from any member of Q2; "
@@ -133,42 +132,39 @@ def decide_ucq_containment(q1, q2, semiring, *,
         return Verdict(True, "local-homomorphism",
                        explanation=f"{semiring.name} ∈ Chom (Thm. 5.2)")
     if cls.c1_in:
-        holds = local_condition(q2, q1, HomKind.INJECTIVE,
-                                finder=ctx.has_homomorphism)
+        holds = local_condition(q2, q1, HomKind.INJECTIVE, context=ctx)
         return Verdict(holds, "local-injective",
                        explanation=f"{semiring.name} ∈ C1in (Thm. 5.6)")
     if cls.c1_hcov:
-        holds = covering_union(q2, q1)
+        holds = covering_union(q2, q1, context=ctx)
         return Verdict(holds, "union-covering",
                        explanation=f"{semiring.name} ∈ C1hcov "
                                    "(Thm. 5.24, k = 1)")
     if cls.c2_hcov:
-        holds = covering_2(q2, q1)
+        holds = covering_2(q2, q1, context=ctx)
         return Verdict(holds, "union-covering-2",
                        explanation=f"{semiring.name} ∈ C2hcov "
                                    "(Thm. 5.24, k = 2)")
     if cls.c1_sur:
-        holds = local_condition(q2, q1, HomKind.SURJECTIVE,
-                                finder=ctx.has_homomorphism)
+        holds = local_condition(q2, q1, HomKind.SURJECTIVE, context=ctx)
         return Verdict(holds, "local-surjective",
                        explanation=f"{semiring.name} ∈ C1sur (Cor. 5.18)")
     if cls.c_inf_sur:
-        holds = sur_infty(q2, q1)
+        holds = sur_infty(q2, q1, context=ctx)
         return Verdict(holds, "sur-infty-matching",
                        explanation=f"{semiring.name} ∈ C∞sur (Thm. 5.17)")
     if cls.c1_bi:
-        holds = local_condition(q2, q1, HomKind.BIJECTIVE,
-                                finder=ctx.has_homomorphism)
+        holds = local_condition(q2, q1, HomKind.BIJECTIVE, context=ctx)
         return Verdict(holds, "local-bijective",
                        explanation=f"{semiring.name} ∈ C1bi "
                                    "(Thm. 5.13, k = 1)")
     if cls.ck_bi:
-        holds = bi_count_k(q2, q1, cls.offset)
+        holds = bi_count_k(q2, q1, cls.offset, context=ctx)
         return Verdict(holds, "bi-count-k",
                        explanation=f"{semiring.name} ∈ Ckbi "
                                    f"(Thm. 5.13, k = {int(cls.offset)})")
     if cls.c_inf_bi:
-        holds = bi_count_infty(q2, q1)
+        holds = bi_count_infty(q2, q1, context=ctx)
         return Verdict(holds, "bi-count-infty",
                        explanation=f"{semiring.name} ∈ C∞bi (Prop. 5.10 / "
                                    "Prop. 5.9)")
@@ -188,17 +184,18 @@ def _bounded_verdict(q1: UCQ, q2: UCQ, semiring, cls: Classification,
 
     necessary: list[tuple[str, bool]] = []
     if props.in_n2hcov:
-        necessary.append(("⟨Q2⟩ ⇉2 ⟨Q1⟩ (Cor. 5.23)", covering_2(q2, q1)))
+        necessary.append(("⟨Q2⟩ ⇉2 ⟨Q1⟩ (Cor. 5.23)",
+                          covering_2(q2, q1, context=ctx)))
     elif props.in_n1hcov or props.in_nhcov:
-        necessary.append(("Q2 ⇉1 Q1", covering_union(q2, q1)))
+        necessary.append(("Q2 ⇉1 Q1", covering_union(q2, q1, context=ctx)))
     if props.in_nsur:
         necessary.append(
             ("։1 locally", local_condition(q2, q1, HomKind.SURJECTIVE,
-                                           finder=ctx.has_homomorphism)))
+                                           context=ctx)))
     if props.in_nin:
         necessary.append(
             ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE,
-                                           finder=ctx.has_homomorphism)))
+                                           context=ctx)))
     for description, holds in necessary:
         if not holds:
             return Verdict(False, "necessary-condition",
@@ -208,20 +205,22 @@ def _bounded_verdict(q1: UCQ, q2: UCQ, semiring, cls: Classification,
 
     sufficient: list[tuple[str, bool]] = []
     if cls.s_sur:
-        sufficient.append(("⟨Q2⟩ ։∞ ⟨Q1⟩ (Cor. 5.16)", sur_infty(q2, q1)))
+        sufficient.append(("⟨Q2⟩ ։∞ ⟨Q1⟩ (Cor. 5.16)",
+                           sur_infty(q2, q1, context=ctx)))
     if cls.s_hcov:
         k = 1 if cls.s1 else 2
-        condition = covering_union(q2, q1) if k == 1 else covering_2(q2, q1)
+        condition = (covering_union(q2, q1, context=ctx) if k == 1
+                     else covering_2(q2, q1, context=ctx))
         sufficient.append((f"⇉{k} (Prop. 5.21)", condition))
     if cls.s_in:
         sufficient.append(
             ("→֒ locally", local_condition(q2, q1, HomKind.INJECTIVE,
-                                           finder=ctx.has_homomorphism)))
+                                           context=ctx)))
     offset = cls.offset
     k_label = "∞" if math.isinf(offset) else str(int(offset))
     sufficient.append(
         (f"⟨Q2⟩ →֒{k_label} ⟨Q1⟩ (Prop. 5.12)",
-         bi_count_k(q2, q1, offset)))
+         bi_count_k(q2, q1, offset, context=ctx)))
     for description, holds in sufficient:
         if holds:
             return Verdict(True, "sufficient-condition",

@@ -1,24 +1,49 @@
 """Pluggable primitive-operation provider for the decision procedures.
 
-The Table-1 dispatch in :mod:`repro.core.containment` is built from two
-expensive primitives: semiring classification and homomorphism search.
-:class:`DecisionContext` routes both through one object so callers (most
-notably :class:`repro.api.ContainmentEngine`) can interpose caches
-without the core procedures knowing anything about caching policy.  The
-default context simply delegates to the plain functions, so existing
-call sites are unaffected.
+The Table-1 dispatch in :mod:`repro.core.containment` is built from a
+handful of expensive primitives: semiring classification, homomorphism
+search (existence and enumeration), homomorphic covering, and the
+complete description ``⟨Q⟩`` of a UCQ.  :class:`DecisionContext` routes
+all of them through one object so callers (most notably
+:class:`repro.api.ContainmentEngine`) can interpose caches without the
+core procedures knowing anything about caching policy.
+
+Every Table-1 code path — the CQ dispatch, the UCQ local conditions,
+the covering conditions ``⇉1``/``⇉2``, the counting conditions
+``→֒k``/``→֒∞``, the matching condition ``։∞``, and the bag-semantics
+bounds search — accepts a context, so an engine's LRUs see the whole
+decision surface rather than just the top-level searches.
+
+The default context delegates to the plain functions, memoizing only
+the complete description: :func:`_bounded_verdict` evaluates several
+conditions over the same ``⟨Q1⟩``/``⟨Q2⟩`` within a single verdict, and
+recomputing the Bell-number expansion each time is pure waste even
+without an engine.
+
+Subclasses must be semantically transparent: same answers as the plain
+functions, whatever the caching policy.
 """
 
 from __future__ import annotations
 
-from ..homomorphisms.search import HomKind, find_homomorphism
+from functools import lru_cache
+
+from ..homomorphisms.covering import covered_atoms
+from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
+from ..queries.ccq import complete_description_ucq
 from .classes import Classification, classify
 
 __all__ = ["DecisionContext", "DEFAULT_CONTEXT"]
 
 
+@lru_cache(maxsize=1024)
+def _cached_description(union) -> tuple:
+    """Process-wide memo of ``⟨Q⟩`` keyed by the (immutable) UCQ."""
+    return complete_description_ucq(union)
+
+
 class DecisionContext:
-    """Provides classification and homomorphism search to the dispatch.
+    """Provides the decision-procedure primitives to the dispatch.
 
     Subclasses may memoize; implementations must be semantically
     transparent (same answers as the plain functions).
@@ -39,6 +64,30 @@ class DecisionContext:
     def has_homomorphism(self, source, target, kind: HomKind) -> bool:
         """Existence check derived from :meth:`find_homomorphism`."""
         return self.find_homomorphism(source, target, kind) is not None
+
+    def homomorphism_mappings(self, source, target,
+                              kind: HomKind) -> tuple[dict, ...]:
+        """All ``kind`` homomorphisms ``source → target`` as a tuple
+        (the deduplicated enumeration of
+        :func:`repro.homomorphisms.homomorphisms`)."""
+        return tuple(homomorphisms(source, target, kind))
+
+    def covered_atoms(self, source, target) -> frozenset:
+        """The target atoms reached by some homomorphic image
+        (:func:`repro.homomorphisms.covered_atoms`)."""
+        return covered_atoms(source, target)
+
+    def covers(self, source, target) -> bool:
+        """Homomorphic covering ``source ⇉ target``, derived from
+        :meth:`covered_atoms`."""
+        return len(self.covered_atoms(source, target)) == len(
+            set(target.atoms))
+
+    def complete_description(self, union) -> tuple:
+        """The complete description ``⟨Q⟩`` of a UCQ (Sec. 5.2),
+        memoized — queries are immutable, so the expansion is a pure
+        function of the union."""
+        return _cached_description(union)
 
 
 #: Shared stateless default used when no context is supplied.

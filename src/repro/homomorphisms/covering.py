@@ -6,6 +6,13 @@ This is the characterizing condition of the class ``Chcov``
 (⊗-idempotent semirings with the ``Nhcov`` necessity axiom; the lineage
 semiring is the flagship member, Thm. 4.3).  Checking it is
 NP-complete.
+
+Both functions accept an optional ``context``
+(:class:`repro.core.decision-context-like <repro.core.DecisionContext>`
+duck type) through which callers such as
+:class:`repro.api.ContainmentEngine` interpose result caches; with no
+context the plain lazy computation runs — enumeration stops as soon as
+every target atom is covered.
 """
 
 from __future__ import annotations
@@ -16,9 +23,11 @@ from .search import HomKind, homomorphisms
 __all__ = ["covers", "covered_atoms"]
 
 
-def covered_atoms(source: CQ, target: CQ) -> frozenset:
+def covered_atoms(source: CQ, target: CQ, *, context=None) -> frozenset:
     """The atoms of ``target`` that occur in the image of some
     homomorphism from ``source``."""
+    if context is not None:
+        return context.covered_atoms(source, target)
     remaining = set(target.atoms)
     covered = set()
     for mapping in homomorphisms(source, target, HomKind.PLAIN):
@@ -31,11 +40,13 @@ def covered_atoms(source: CQ, target: CQ) -> frozenset:
     return frozenset(covered)
 
 
-def covers(source: CQ, target: CQ) -> bool:
+def covers(source: CQ, target: CQ, *, context=None) -> bool:
     """Decide ``source ⇉ target`` (homomorphic covering).
 
     Coverage is judged per distinct atom *value*: an atom occurring
     twice in ``target`` is covered as soon as its value appears in some
     homomorphic image (images cannot distinguish occurrences).
     """
+    if context is not None:
+        return context.covers(source, target)
     return len(covered_atoms(source, target)) == len(set(target.atoms))

@@ -10,7 +10,7 @@ all acting on the *multiset* image ``h(φ2)`` (each occurrence of a
 * ``PLAIN``      — ``Q2 → Q1``:  every image atom occurs in ``φ1``.
 * ``INJECTIVE``  — ``Q2 →֒ Q1``: ``h(φ2) ⊆ φ1`` as multisets.
 * ``SURJECTIVE`` — ``Q2 ։ Q1``:  ``φ1 ⊆ h(φ2)`` as multisets.
-* ``BIJECTIVE``  — ``Q2 →֒→ Q1``: ``h(φ2) = φ1`` as multisets.
+* ``BIJECTIVE`` — ``Q2 →֒→ Q1``: ``h(φ2) = φ1`` as multisets.
 
 Between CCQs, homomorphisms must additionally *preserve inequalities*:
 for each constrained pair ``x ≠ y`` of the source, every valuation of
@@ -19,8 +19,32 @@ holds exactly when the images are existential target variables joined by
 a target inequality, or two distinct constants.
 
 Deciding existence is NP-complete for each kind (Cor. 3.4, 4.4, 4.9,
-4.15); the search is a backtracking join over the target's atom
-occurrences with multiset-count pruning.
+4.15), so the search is engineered rather than naive.  It is an
+indexed, plan-driven backtracking join:
+
+* the target is indexed by ``(relation, arity)`` — once per query
+  object, cached on the immutable CQ — and each source atom gets a
+  static candidate list filtered by its constants and the head
+  bindings; an atom with zero candidates refutes immediately;
+* source atoms are matched *most-constrained-first*: a greedy plan
+  repeatedly picks the atom with the fewest compatible candidates,
+  breaking ties toward atoms whose variables are already bound, so
+  early clashes prune maximal subtrees;
+* bindings are forward-checked against the candidate lists and stored
+  in one mutable mapping with trail-based undo (no dict copies on the
+  search path);
+* inequality preservation is checked *incrementally* as each pair of
+  constrained variables becomes fully bound, instead of post-hoc on
+  complete mappings;
+* ``SURJECTIVE``/``BIJECTIVE`` branches additionally maintain the
+  still-uncovered target multiset and are cut as soon as the remaining
+  source atoms — counted per ``(relation, arity)`` profile — can no
+  longer cover it.
+
+The enumeration contract matches the original generate-and-test
+searcher (kept in :mod:`repro.homomorphisms._reference`): the same
+*set* of deduplicated variable mappings is produced, though not
+necessarily in the same order.
 """
 
 from __future__ import annotations
@@ -29,7 +53,6 @@ from enum import Enum
 from typing import Any, Iterator
 
 from ..queries.atoms import Atom, Var, is_var
-from ..queries.ccq import CQWithInequalities
 from ..queries.cq import CQ
 
 __all__ = [
@@ -38,6 +61,8 @@ __all__ = [
     "find_homomorphism",
     "has_homomorphism",
 ]
+
+_UNBOUND = object()
 
 
 class HomKind(Enum):
@@ -49,60 +74,149 @@ class HomKind(Enum):
     BIJECTIVE = "bijective"
 
 
-def _target_inequality_ok(source: CQ, target: CQ, mapping: dict) -> bool:
-    """Check inequality preservation for the fully built ``mapping``."""
-    source_pairs = getattr(source, "inequalities", frozenset())
-    if not source_pairs:
-        return True
-    target_pairs = getattr(target, "inequalities", frozenset())
-    target_existential = set(
-        target.existential_vars()) if isinstance(target, CQ) else set()
-    for pair in source_pairs:
-        x, y = tuple(pair)
-        image_x = mapping.get(x, x)
-        image_y = mapping.get(y, y)
-        if image_x == image_y:
-            return False
-        both_vars = is_var(image_x) and is_var(image_y)
-        if both_vars:
-            if (image_x in target_existential
-                    and image_y in target_existential
-                    and frozenset((image_x, image_y)) in target_pairs):
-                continue
-            return False
-        if not is_var(image_x) and not is_var(image_y):
-            continue  # two distinct constants are always separated
-        return False
-    return True
+def _relation_profile(atoms) -> dict[tuple[str, int], int]:
+    """Occurrence counts per ``(relation, arity)`` signature."""
+    profile: dict[tuple[str, int], int] = {}
+    for atom in atoms:
+        key = (atom.relation, len(atom.terms))
+        profile[key] = profile.get(key, 0) + 1
+    return profile
 
 
-def _compatible(atom: Atom, candidate: Atom, mapping: dict) -> dict | None:
-    """Try to extend ``mapping`` so that ``atom`` maps onto ``candidate``.
+def _target_info(target: CQ):
+    """Per-target matching structures, computed once per CQ object.
 
-    Returns the (possibly extended) mapping, or None on clash.  The
-    returned dict is the same object when nothing new was bound.
+    Returns ``(target_counts, index, target_profile)`` where ``index``
+    maps ``(relation, arity)`` to the distinct atoms of that signature.
+    Cached on the (immutable) query.
     """
-    if atom.relation != candidate.relation or atom.arity != candidate.arity:
-        return None
-    extension: dict | None = None
-    for term, image in zip(atom.terms, candidate.terms):
-        if is_var(term):
-            current = mapping.get(term)
-            if extension is not None and term in extension:
-                current = extension[term]
-            if current is None:
-                if extension is None:
-                    extension = {}
-                extension[term] = image
-            elif current != image:
-                return None
-        elif term != image:
-            return None
-    if extension is None:
-        return mapping
-    merged = dict(mapping)
-    merged.update(extension)
-    return merged
+    cache = target._hom_cache
+    info = cache.get("target")
+    if info is None:
+        target_counts: dict[Atom, int] = {}
+        index: dict[tuple[str, int], tuple[Atom, ...]] = {}
+        buckets: dict[tuple[str, int], list[Atom]] = {}
+        profile: dict[tuple[str, int], int] = {}
+        for atom in target.atoms:
+            key = (atom.relation, len(atom.terms))
+            profile[key] = profile.get(key, 0) + 1
+            count = target_counts.get(atom)
+            if count is None:
+                target_counts[atom] = 1
+                buckets.setdefault(key, []).append(atom)
+            else:
+                target_counts[atom] = count + 1
+        for key, bucket in buckets.items():
+            index[key] = tuple(bucket)
+        info = (target_counts, index, profile)
+        cache["target"] = info
+    return info
+
+
+def _target_ineq_info(target: CQ):
+    """``(existential-variable set, inequality pairs)`` of the target,
+    needed only when the source carries inequalities.  Cached."""
+    cache = target._hom_cache
+    info = cache.get("ineq")
+    if info is None:
+        info = (set(target.existential_vars()),
+                getattr(target, "inequalities", frozenset()))
+        cache["ineq"] = info
+    return info
+
+
+def _source_info(source: CQ):
+    """Per-source matching structures, computed once per CQ object.
+
+    Returns ``(atom_vars, neighbors, source_profile)``: the distinct
+    variables of each body atom (in body order), the inequality
+    adjacency of the source variables, and the ``(relation, arity)``
+    occurrence profile.  Cached.
+    """
+    cache = source._hom_cache
+    info = cache.get("source")
+    if info is None:
+        atom_vars = []
+        grounded = []
+        for atom in source.atoms:
+            distinct: dict[Var, None] = {}
+            constants = False
+            for term in atom.terms:
+                if is_var(term):
+                    distinct[term] = None
+                else:
+                    constants = True
+            atom_vars.append(tuple(distinct))
+            grounded.append(constants)
+        neighbors: dict[Var, tuple[Var, ...]] = {}
+        for pair in getattr(source, "inequalities", frozenset()):
+            x, y = tuple(pair)
+            neighbors[x] = neighbors.get(x, ()) + (y,)
+            neighbors[y] = neighbors.get(y, ()) + (x,)
+        info = (tuple(atom_vars), tuple(grounded), neighbors,
+                _relation_profile(source.atoms))
+        cache["source"] = info
+    return info
+
+
+def _static_candidates(atom: Atom, bucket: tuple[Atom, ...],
+                       mapping: dict) -> tuple[Atom, ...]:
+    """The distinct target atoms ``atom`` could map onto given only its
+    constants and the (head) bindings of ``mapping``."""
+    result = []
+    for candidate in bucket:
+        for term, image in zip(atom.terms, candidate.terms):
+            if is_var(term):
+                bound = mapping.get(term, _UNBOUND)
+                if bound is not _UNBOUND and bound != image:
+                    break
+            elif term != image:
+                break
+        else:
+            result.append(candidate)
+    return tuple(result)
+
+
+def _plan_order(counts: list[int], atom_vars: list[tuple[Var, ...]],
+                bound: set) -> tuple[int, ...]:
+    """Greedy most-constrained-first ordering of the source atoms.
+
+    Repeatedly picks the unplanned atom minimizing (candidate count,
+    unbound-variable count, original position); planning an atom binds
+    its variables for subsequent picks.
+    """
+    total = len(counts)
+    if total <= 1:
+        return tuple(range(total))
+    if total == 2:
+        first, second = counts
+        if second < first:
+            return (1, 0)
+        if second == first:
+            unbound = [sum(1 for v in atom_vars[i] if v not in bound)
+                       for i in (0, 1)]
+            if unbound[1] < unbound[0]:
+                return (1, 0)
+        return (0, 1)
+    bound = set(bound)
+    remaining = list(range(total))
+    order: list[int] = []
+    while remaining:
+        best = -1
+        best_key = None
+        for i in remaining:
+            unbound = 0
+            for var in atom_vars[i]:
+                if var not in bound:
+                    unbound += 1
+            key = (counts[i], unbound, i)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = i
+        remaining.remove(best)
+        order.append(best)
+        bound.update(atom_vars[best])
+    return tuple(order)
 
 
 def homomorphisms(source: CQ, target: CQ,
@@ -117,56 +231,216 @@ def homomorphisms(source: CQ, target: CQ,
         return
     mapping: dict[Var, Any] = {}
     for var, image in zip(source.head, target.head):
-        if mapping.setdefault(var, image) != image:
+        current = mapping.setdefault(var, image)
+        if current != image:
             return
-    if kind is HomKind.BIJECTIVE and len(source.atoms) != len(target.atoms):
+    source_atoms = source.atoms
+    n_source, n_target = len(source_atoms), len(target.atoms)
+    covering = kind is HomKind.SURJECTIVE or kind is HomKind.BIJECTIVE
+    capped = kind is HomKind.INJECTIVE or kind is HomKind.BIJECTIVE
+    if kind is HomKind.BIJECTIVE and n_source != n_target:
         return
-    if kind is HomKind.SURJECTIVE and len(source.atoms) < len(target.atoms):
+    if kind is HomKind.SURJECTIVE and n_source < n_target:
         return
-    target_counts: dict[Atom, int] = {}
-    for atom in target.atoms:
-        target_counts[atom] = target_counts.get(atom, 0) + 1
-    distinct_targets = tuple(target_counts)
-    seen: set = set()
-    for result in _search(source.atoms, 0, mapping, distinct_targets,
-                          target_counts, {}, kind):
-        key = frozenset(result.items())
-        if key in seen:
-            continue
-        seen.add(key)
-        if _target_inequality_ok(source, target, result):
-            yield result
 
+    target_counts, index, target_profile = _target_info(target)
+    atom_vars, grounded, neighbors, source_profile = _source_info(source)
 
-def _search(atoms: tuple[Atom, ...], index: int, mapping: dict,
-            candidates: tuple[Atom, ...], target_counts: dict,
-            image_counts: dict, kind: HomKind) -> Iterator[dict]:
-    if index == len(atoms):
-        if kind in (HomKind.SURJECTIVE, HomKind.BIJECTIVE):
-            covered = all(
-                image_counts.get(atom, 0) >= count
-                for atom, count in target_counts.items()
-            )
-            if not covered:
+    # -- relation-profile feasibility for the covering kinds ------------
+    if covering:
+        if kind is HomKind.BIJECTIVE:
+            if source_profile != target_profile:
                 return
-        yield dict(mapping)
-        return
-    atom = atoms[index]
-    for candidate in candidates:
-        extended = _compatible(atom, candidate, mapping)
-        if extended is None:
-            continue
-        used = image_counts.get(candidate, 0) + 1
-        if kind in (HomKind.INJECTIVE, HomKind.BIJECTIVE):
-            if used > target_counts[candidate]:
-                continue
-        image_counts[candidate] = used
-        yield from _search(atoms, index + 1, extended, candidates,
-                           target_counts, image_counts, kind)
-        if used == 1:
-            del image_counts[candidate]
         else:
-            image_counts[candidate] = used - 1
+            for signature, need in target_profile.items():
+                if need > source_profile.get(signature, 0):
+                    return
+
+    # -- inequality preservation machinery ------------------------------
+    if neighbors:
+        target_existential, target_pairs = _target_ineq_info(target)
+
+        def pair_separated(image_x, image_y) -> bool:
+            if image_x == image_y:
+                return False
+            if is_var(image_x):
+                return (is_var(image_y)
+                        and image_x in target_existential
+                        and image_y in target_existential
+                        and frozenset((image_x, image_y)) in target_pairs)
+            return not is_var(image_y)  # two distinct constants
+
+        # Pairs of head variables are fully bound before the search.
+        if len(mapping) > 1:
+            for x, partners in neighbors.items():
+                image_x = mapping.get(x, _UNBOUND)
+                if image_x is _UNBOUND:
+                    continue
+                for y in partners:
+                    image_y = mapping.get(y, _UNBOUND)
+                    if (image_y is not _UNBOUND
+                            and not pair_separated(image_x, image_y)):
+                        return
+    else:
+        pair_separated = None  # type: ignore[assignment]
+
+    # -- static candidate lists and the matching plan -------------------
+    candidates: list[tuple[Atom, ...]] = []
+    counts: list[int] = []
+    unconstrained = not mapping
+    for position, atom in enumerate(source_atoms):
+        bucket = index.get((atom.relation, len(atom.terms)))
+        if not bucket:
+            return
+        if unconstrained and not grounded[position]:
+            options = bucket  # nothing to filter on yet
+        else:
+            options = _static_candidates(atom, bucket, mapping)
+            if not options:
+                return
+        candidates.append(options)
+        counts.append(len(options))
+    order = _plan_order(counts, atom_vars, mapping)
+    plan_atoms = tuple(source_atoms[i] for i in order)
+    plan_candidates = tuple(candidates[i] for i in order)
+
+    # -- covering bookkeeping (SURJECTIVE / BIJECTIVE only) -------------
+    # suffix_profiles[p]: what plan positions >= p can still contribute,
+    # per (relation, arity) signature; compared against the uncovered
+    # target multiset to cut doomed branches early.
+    suffix_profiles: list[dict[tuple[str, int], int]] = []
+    uncovered: dict[Atom, int] = {}
+    uncovered_profile: dict[tuple[str, int], int] = {}
+    uncovered_total = 0
+    if covering:
+        profile: dict[tuple[str, int], int] = {}
+        suffix_profiles.append(profile)
+        for atom in reversed(plan_atoms):
+            profile = dict(profile)
+            key = (atom.relation, len(atom.terms))
+            profile[key] = profile.get(key, 0) + 1
+            suffix_profiles.append(profile)
+        suffix_profiles.reverse()
+        uncovered = dict(target_counts)
+        uncovered_profile = dict(target_profile)
+        uncovered_total = n_target
+    capacity: dict[Atom, int] = dict(target_counts) if capped else {}
+
+    # -- flat iterative backtracking over the plan ----------------------
+    n = n_source
+    seen: set[frozenset] = set()
+    cursors = [0] * n
+    trails: list[list[Var]] = [[] for _ in range(n)]
+    frame_choice: list[Atom | None] = [None] * n
+    frame_covered = [False] * n
+    mapping_get = mapping.get
+    pos = 0
+    while True:
+        atom = plan_atoms[pos]
+        options = plan_candidates[pos]
+        total = len(options)
+        cursor = cursors[pos]
+        advanced = False
+        while cursor < total:
+            candidate = options[cursor]
+            cursor += 1
+            if capped and not capacity[candidate]:
+                continue
+            # forward-check the binding, trailing newly bound variables
+            trail: list[Var] = []
+            ok = True
+            for term, image in zip(atom.terms, candidate.terms):
+                if is_var(term):
+                    current = mapping_get(term, _UNBOUND)
+                    if current is _UNBOUND:
+                        mapping[term] = image
+                        trail.append(term)
+                    elif current != image:
+                        ok = False
+                        break
+                elif term != image:
+                    ok = False
+                    break
+            if ok and neighbors and trail:
+                # incremental inequality preservation on the new pairs
+                for var in trail:
+                    partners = neighbors.get(var)
+                    if not partners:
+                        continue
+                    image_x = mapping[var]
+                    for partner in partners:
+                        image_y = mapping_get(partner, _UNBOUND)
+                        if (image_y is not _UNBOUND
+                                and not pair_separated(image_x, image_y)):
+                            ok = False
+                            break
+                    if not ok:
+                        break
+            if not ok:
+                for var in trail:
+                    del mapping[var]
+                continue
+            covered_here = False
+            if covering:
+                need = uncovered.get(candidate, 0)
+                if need:
+                    covered_here = True
+                    uncovered[candidate] = need - 1
+                    uncovered_profile[(candidate.relation,
+                                       len(candidate.terms))] -= 1
+                    uncovered_total -= 1
+                # prune: can the remaining atoms still cover the rest?
+                feasible = uncovered_total <= n - pos - 1
+                if feasible and uncovered_total:
+                    remaining = suffix_profiles[pos + 1]
+                    for signature, need in uncovered_profile.items():
+                        if need and need > remaining.get(signature, 0):
+                            feasible = False
+                            break
+                if not feasible:
+                    if covered_here:
+                        uncovered[candidate] += 1
+                        uncovered_profile[(candidate.relation,
+                                           len(candidate.terms))] += 1
+                        uncovered_total += 1
+                    for var in trail:
+                        del mapping[var]
+                    continue
+            if capped:
+                capacity[candidate] -= 1
+            cursors[pos] = cursor
+            trails[pos] = trail
+            frame_choice[pos] = candidate
+            frame_covered[pos] = covered_here
+            advanced = True
+            break
+        if advanced:
+            pos += 1
+            if pos < n:
+                cursors[pos] = 0
+                continue
+            if not uncovered_total:  # always 0 for the non-covering kinds
+                key = frozenset(mapping.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield dict(mapping)
+            pos -= 1
+        else:
+            cursors[pos] = 0
+            pos -= 1
+            if pos < 0:
+                return
+        # undo the frame at `pos` before retrying its next candidate
+        candidate = frame_choice[pos]
+        if capped:
+            capacity[candidate] += 1
+        if frame_covered[pos]:
+            uncovered[candidate] += 1
+            uncovered_profile[(candidate.relation,
+                               len(candidate.terms))] += 1
+            uncovered_total += 1
+        for var in trails[pos]:
+            del mapping[var]
 
 
 def find_homomorphism(source: CQ, target: CQ,

@@ -24,6 +24,12 @@ Each function implements one syntactic condition between UCQs ``Q2`` and
   ``⟨Q1⟩`` is matched to a *unique* surjectively-mapping CCQ occurrence
   of ``⟨Q2⟩`` (Def. 5.14); by Hall's theorem this is a bipartite
   matching problem (Thm. 5.17), solved with Hopcroft–Karp.
+
+Every function accepts an optional ``context``
+(:class:`repro.core.DecisionContext`-like) that reroutes the expensive
+primitives — homomorphism existence, atom covering and the complete
+description ``⟨Q⟩`` — through a caller-provided cache; with no context
+the plain functions run.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from ..queries.cq import CQ
 from ..queries.ucq import UCQ, as_ucq
 from .covering import covered_atoms
 from .isomorphism import automorphism_count, isomorphism_classes
-from .search import HomKind, has_homomorphism, homomorphisms
+from .search import HomKind, has_homomorphism
 
 __all__ = [
     "local_condition",
@@ -49,31 +55,49 @@ __all__ = [
 ]
 
 
+def _exists(context, source: CQ, target: CQ, kind: HomKind) -> bool:
+    """Existence primitive, routed through ``context`` when given."""
+    if context is not None:
+        return context.has_homomorphism(source, target, kind)
+    return has_homomorphism(source, target, kind)
+
+
+def _description(context, union: UCQ) -> tuple:
+    """``⟨Q⟩`` primitive, routed through ``context`` when given."""
+    if context is not None:
+        return context.complete_description(union)
+    return complete_description_ucq(union)
+
+
 def local_condition(source: UCQ | CQ, target: UCQ | CQ,
-                    kind: HomKind, finder=None) -> bool:
+                    kind: HomKind, finder=None, *, context=None) -> bool:
     """``Q2 (hom-kind)1 Q1``: each target member has a source preimage.
 
     ``finder`` optionally overrides the existence check (signature of
-    :func:`has_homomorphism`) so callers can interpose a cache.
+    :func:`has_homomorphism`); otherwise ``context`` routes it through
+    a cache-providing :class:`repro.core.DecisionContext`.
     """
     source, target = as_ucq(source), as_ucq(target)
-    exists = finder or has_homomorphism
+    if finder is None:
+        finder = (has_homomorphism if context is None
+                  else context.has_homomorphism)
     return all(
-        any(exists(cq2, cq1, kind) for cq2 in source)
+        any(finder(cq2, cq1, kind) for cq2 in source)
         for cq1 in target
     )
 
 
-def _union_covers(source: UCQ, target_cq: CQ) -> bool:
+def _union_covers(source: UCQ, target_cq: CQ, context=None) -> bool:
     remaining = set(target_cq.atoms)
     for cq2 in source:
-        remaining -= covered_atoms(cq2, target_cq)
+        remaining -= covered_atoms(cq2, target_cq, context=context)
         if not remaining:
             return True
     return not remaining
 
 
-def covering_union(source: UCQ | CQ, target: UCQ | CQ) -> bool:
+def covering_union(source: UCQ | CQ, target: UCQ | CQ, *,
+                   context=None) -> bool:
     """``Q2 ⇉1 Q1``: every atom of every target member is in the image
     of a homomorphism from *some* source member (Sec. 5.4).
 
@@ -81,10 +105,11 @@ def covering_union(source: UCQ | CQ, target: UCQ | CQ) -> bool:
     directly on the given queries.
     """
     source, target = as_ucq(source), as_ucq(target)
-    return all(_union_covers(source, cq1) for cq1 in target)
+    return all(_union_covers(source, cq1, context) for cq1 in target)
 
 
-def covering_2(source: UCQ | CQ, target: UCQ | CQ) -> bool:
+def covering_2(source: UCQ | CQ, target: UCQ | CQ, *,
+               context=None) -> bool:
     """``⟨Q2⟩ ⇉2 ⟨Q1⟩`` (Sec. 5.4, for ``S²hcov`` semirings).
 
     Requires (1) ``⟨Q2⟩ ⇉1 ⟨Q1⟩`` and (2) every CCQ of ``⟨Q1⟩`` that has
@@ -109,10 +134,11 @@ def covering_2(source: UCQ | CQ, target: UCQ | CQ) -> bool:
       ``|Aut| ≥ 2`` equal summands per source, which offset 2
       saturates, hence its exemption (as in the paper).
     """
-    description2 = complete_description_ucq(as_ucq(source))
-    description1 = complete_description_ucq(as_ucq(target))
+    description2 = _description(context, as_ucq(source))
+    description1 = _description(context, as_ucq(target))
     union2 = UCQ(description2)
-    if not all(_union_covers(union2, ccq1) for ccq1 in description1):
+    if not all(_union_covers(union2, ccq1, context)
+               for ccq1 in description1):
         return False
     reduced1 = [_set_reduce(ccq) for ccq in description1]
     reduced2 = [_set_reduce(ccq) for ccq in description2]
@@ -126,7 +152,7 @@ def covering_2(source: UCQ | CQ, target: UCQ | CQ) -> bool:
             continue
         preimages = sum(
             1 for ccq2 in reduced2
-            if has_homomorphism(ccq2, representative, HomKind.PLAIN)
+            if _exists(context, ccq2, representative, HomKind.PLAIN)
         )
         if preimages >= 2:
             continue
@@ -146,18 +172,20 @@ def _set_reduce(ccq):
     return CQWithInequalities(ccq.head, unique, pairs)
 
 
-def bi_count_infty(source: UCQ | CQ, target: UCQ | CQ) -> bool:
+def bi_count_infty(source: UCQ | CQ, target: UCQ | CQ, *,
+                   context=None) -> bool:
     """``⟨Q2⟩ →֒∞ ⟨Q1⟩`` (Def. 5.8): every isomorphism class occurs in
     ``⟨Q2⟩`` at least as often as in ``⟨Q1⟩``."""
-    classes2 = isomorphism_classes(complete_description_ucq(as_ucq(source)))
-    classes1 = isomorphism_classes(complete_description_ucq(as_ucq(target)))
+    classes2 = isomorphism_classes(_description(context, as_ucq(source)))
+    classes1 = isomorphism_classes(_description(context, as_ucq(target)))
     return all(
         len(members) <= len(classes2.get(key, ()))
         for key, members in classes1.items()
     )
 
 
-def bi_count_k(source: UCQ | CQ, target: UCQ | CQ, k: float) -> bool:
+def bi_count_k(source: UCQ | CQ, target: UCQ | CQ, k: float, *,
+               context=None) -> bool:
     """``⟨Q2⟩ →֒k ⟨Q1⟩`` for ``k ∈ N ∪ {∞}`` (Thm. 5.13).
 
     Reconstructed definition: for every isomorphism class ``C`` with
@@ -170,12 +198,12 @@ def bi_count_k(source: UCQ | CQ, target: UCQ | CQ, k: float) -> bool:
     condition ``→֒1``.
     """
     if math.isinf(k):
-        return bi_count_infty(source, target)
+        return bi_count_infty(source, target, context=context)
     k = int(k)
     if k < 1:
         raise ValueError("offset must be at least 1")
-    classes2 = isomorphism_classes(complete_description_ucq(as_ucq(source)))
-    classes1 = isomorphism_classes(complete_description_ucq(as_ucq(target)))
+    classes2 = isomorphism_classes(_description(context, as_ucq(source)))
+    classes1 = isomorphism_classes(_description(context, as_ucq(target)))
     for key, members in classes1.items():
         group = automorphism_count(members[0])
         required = min(len(members), math.ceil(k / group))
@@ -184,12 +212,12 @@ def bi_count_k(source: UCQ | CQ, target: UCQ | CQ, k: float) -> bool:
     return True
 
 
-def sur_infty(source: UCQ | CQ, target: UCQ | CQ) -> bool:
+def sur_infty(source: UCQ | CQ, target: UCQ | CQ, *, context=None) -> bool:
     """``⟨Q2⟩ ։∞ ⟨Q1⟩`` (Def. 5.14): a matching assigning to every CCQ
     occurrence of ``⟨Q1⟩`` a unique surjectively-mapping occurrence of
     ``⟨Q2⟩``."""
-    description2 = complete_description_ucq(as_ucq(source))
-    description1 = complete_description_ucq(as_ucq(target))
+    description2 = _description(context, as_ucq(source))
+    description1 = _description(context, as_ucq(target))
     if not description1:
         return True
     graph = nx.Graph()
@@ -199,7 +227,7 @@ def sur_infty(source: UCQ | CQ, target: UCQ | CQ) -> bool:
         (("s", index) for index in range(len(description2))), bipartite=1)
     for i, ccq1 in enumerate(description1):
         for j, ccq2 in enumerate(description2):
-            if has_homomorphism(ccq2, ccq1, HomKind.SURJECTIVE):
+            if _exists(context, ccq2, ccq1, HomKind.SURJECTIVE):
                 graph.add_edge(("t", i), ("s", j))
     matching = nx.bipartite.maximum_matching(graph, top_nodes=left)
     return all(node in matching for node in left)

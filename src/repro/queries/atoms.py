@@ -17,12 +17,15 @@ __all__ = ["Var", "Atom", "is_var", "term_sort_key", "variables_of_terms"]
 class Var:
     """A query variable, identified by its name."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if not name:
             raise ValueError("variable name must be non-empty")
         object.__setattr__(self, "name", name)
+        # Precomputed: Vars key the binding dicts of the homomorphism
+        # search, where per-lookup tuple hashing is measurable.
+        object.__setattr__(self, "_hash", hash(("Var", name)))
 
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Var is immutable")
@@ -31,7 +34,7 @@ class Var:
         return isinstance(other, Var) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("Var", self.name))
+        return self._hash
 
     def __lt__(self, other: "Var") -> bool:
         return self.name < other.name

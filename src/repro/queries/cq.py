@@ -26,7 +26,7 @@ class CQ:
     paper requires (``u1 ∪ … ∪ un = u``).
     """
 
-    __slots__ = ("head", "atoms", "_hash")
+    __slots__ = ("head", "atoms", "_hash", "_hom_cache")
 
     def __init__(self, head: Iterable[Var], atoms: Iterable[Atom]):
         head = tuple(head)
@@ -46,6 +46,10 @@ class CQ:
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "atoms", atoms)
         object.__setattr__(self, "_hash", hash((head, atoms)))
+        # Lazily populated by repro.homomorphisms.search with immutable
+        # per-query matching structures (queries are shared freely, so
+        # the derived indexes are too).
+        object.__setattr__(self, "_hom_cache", {})
 
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("CQ is immutable")

@@ -244,3 +244,128 @@ def test_equivalence_goes_both_ways():
     different = engine.decide("Q() :- R(x, y)", "Q() :- R(x, x)", "B",
                               equivalence=True)
     assert different.result is False
+
+
+def test_lru_stores_none_and_falsy_values():
+    from repro.api.engine import _LRU
+
+    lru = _LRU(4)
+    sentinel = object()
+    lru.put("none", None)
+    lru.put("empty", ())
+    assert lru.get("none", sentinel) is None       # stored, not missing
+    assert lru.get("empty", sentinel) == ()
+    assert lru.get("absent", sentinel) is sentinel
+
+
+def test_cached_none_verdict_value_never_recomputed():
+    # An undecided (result=None) verdict document must still be served
+    # from the verdict cache on the second ask.
+    engine = ContainmentEngine()
+    first = engine.decide(Q1, Q2, "N")
+    assert first.result is None and not first.cached
+    second = engine.decide(Q1, Q2, "N")
+    assert second.result is None and second.cached
+    assert engine.stats.verdict_hits == 1
+
+
+def test_covering_path_routes_through_hom_caches():
+    # Lin[X] ∈ Chcov: the covers() call must hit the engine's caches.
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "Lin[X]")
+    assert engine.stats.cover_calls > 0
+    first_cover_calls = engine.stats.cover_calls
+    engine.clear_caches()  # force recompute but keep counters
+    engine.decide(Q1, Q2, "Lin[X]")
+    assert engine.stats.cover_calls == first_cover_calls * 2
+
+
+def test_bounds_path_records_hom_and_description_hits():
+    # Bag semantics exercises _bounded_verdict: within ONE verdict the
+    # necessary/sufficient sweeps reuse ⟨Q⟩, and across paths (the
+    # Chcov covering decision vs the N bounds decision on the same
+    # pair) the hom LRU is shared — both recorded zero hits before the
+    # context was threaded through.
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "Lin[X]")      # covering path, fills hom LRU
+    document = engine.decide([Q1], [Q2, "Q() :- S(x)"], "N")
+    assert document.result is None
+    assert engine.stats.description_hits > 0, \
+        "complete_description must be memoized within a verdict"
+    assert engine.stats.hom_hits > 0, \
+        "covering/UCQ/bounds paths must route through the hom LRU"
+
+
+def test_sur_infty_path_uses_description_cache():
+    # Non-singleton unions reach the UCQ dispatch, where Ssur[X]
+    # decides via ⟨Q2⟩ ։∞ ⟨Q1⟩ over complete descriptions.
+    engine = ContainmentEngine()
+    document = engine.decide(
+        ["Q() :- R(u, u)", "Q() :- R(v, w), R(w, v)"],
+        ["Q() :- R(a, b)", "Q() :- R(c, c), R(c, c)"], "Ssur[X]")
+    assert document.method in ("sur-infty-matching", "local-surjective",
+                               "no-local-homomorphism")
+    info = engine.cache_info()
+    assert info["description_entries"] > 0
+
+
+def test_homomorphism_mappings_seeds_find_cache():
+    from repro.homomorphisms import HomKind
+    from repro.queries import parse_cq
+
+    engine = ContainmentEngine()
+    source, target = parse_cq(Q2), parse_cq(Q1)
+    mappings = engine.homomorphism_mappings(source, target, HomKind.PLAIN)
+    assert mappings
+    before = engine.stats.hom_calls
+    assert engine.find_homomorphism(source, target, HomKind.PLAIN) is not None
+    assert engine.stats.hom_calls == before  # served from the enum seed
+    assert engine.stats.hom_hits >= 1
+
+
+def test_structural_caches_survive_registration():
+    engine = ContainmentEngine()
+    engine.decide(Q1, Q2, "Lin[X]")
+    info = engine.cache_info()
+    structural = {key: info[key] for key in
+                  ("hom_entries", "cover_entries", "description_entries")}
+    engine.register_semiring(RenamedBoolean(), replace=True)
+    after = engine.cache_info()
+    for key, value in structural.items():
+        assert after[key] == value, key
+
+
+def test_request_id_integer_is_coerced_to_string():
+    request = ContainmentRequest.make(Q1, Q2, "B", id=7)
+    assert request.id == "7"
+    engine = ContainmentEngine()
+    document = engine.decide_request(request)
+    assert document.request_id == "7"
+    assert isinstance(document.to_dict()["request_id"], str)
+
+
+def test_request_id_non_string_non_int_rejected():
+    for bad in (True, 1.5, ["x"], {"id": 1}):
+        with pytest.raises(TypeError, match="request id"):
+            ContainmentRequest.make(Q1, Q2, "B", id=bad)
+
+
+def test_batch_numeric_id_echoed_as_string():
+    from repro.api import process_lines
+
+    engine = ContainmentEngine()
+    line = ('{"semiring": "B", "q1": "Q() :- R(x, y)", '
+            '"q2": "Q() :- R(x, x)", "id": 7}')
+    (out,) = list(process_lines(engine, [line]))
+    assert out["request_id"] == "7"
+
+
+def test_batch_unusable_id_reported_in_band():
+    from repro.api import process_lines
+
+    engine = ContainmentEngine()
+    line = ('{"semiring": "B", "q1": "Q() :- R(x, y)", '
+            '"q2": "Q() :- R(x, x)", "id": [1, 2]}')
+    (out,) = list(process_lines(engine, [line]))
+    assert "error" in out and "request id" in out["error"]
+    assert out.get("id") is None  # the unusable id is not echoed raw

@@ -242,3 +242,44 @@ def test_contain_explain_flag(capsys):
         "--q2", "Q() :- R(u, v), R(u, v)")
     assert code == 0
     assert "witness instance" in out
+
+
+def test_evaluate_rejects_malformed_numeric_annotation(capsys):
+    # "--5" used to slip past the digit guard and crash int() with a
+    # bare "invalid literal" message.
+    code, _, err = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R('a') = --5", "Q(x) :- R(x)")
+    assert code == 1
+    assert "cannot parse annotation" in err
+
+
+def test_evaluate_rejects_malformed_token_for_provenance(capsys):
+    # Even with a var-capable semiring, "--5" is not a token name.
+    code, _, err = run_cli(
+        capsys, "evaluate", "--semiring", "N[X]",
+        "--fact", "R('a') = --5", "Q(x) :- R(x)")
+    assert code == 1
+    assert "cannot parse annotation" in err
+
+
+def test_evaluate_accepts_negative_annotation_where_lawful(capsys):
+    # Plain integers (including signed forms) still parse.
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--semiring", "N",
+        "--fact", "R('a') = +2", "Q(x) :- R(x)")
+    assert code == 0
+    assert "2" in out
+
+
+def test_batch_numeric_request_id(tmp_path, capsys):
+    import json
+
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        '{"semiring": "B", "q1": "Q() :- R(x, y)", '
+        '"q2": "Q() :- R(x, x)", "id": 7}\n')
+    code, out, _ = run_cli(capsys, "batch", "--input", str(requests))
+    assert code == 0
+    (doc,) = [json.loads(line) for line in out.splitlines() if line]
+    assert doc["request_id"] == "7"
