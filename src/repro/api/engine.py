@@ -29,13 +29,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..core.classes import Classification, classify
 from ..core.containment import (decide_cq_containment,
                                 decide_ucq_containment, k_equivalent)
 from ..core.context import DecisionContext
-from ..homomorphisms.covering import covered_atoms
 from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
 from ..queries.ccq import complete_description_ucq
 from ..queries.cq import CQ
@@ -102,6 +101,10 @@ class _LRU:
         """Drop every entry."""
         self._data.clear()
 
+    def items(self):
+        """Snapshot view of the entries, least recently used first."""
+        return list(self._data.items())
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -148,17 +151,20 @@ class ContainmentEngine:
     pass an explicit :class:`SemiringRegistry` to share one.  The cache
     sizes bound the LRU layers (parse interning, homomorphism results
     and enumerations, covered atoms, complete descriptions, whole
-    verdicts), keeping long-running batch/service workloads at constant
+    verdicts), keeping long-running batch/service workloads at bounded
     memory; only the classification cache is unbounded (one small entry
-    per semiring).
+    per semiring).  The structural layers default generously (tens of
+    thousands of entries, still only a few MB): a single bag-semantics
+    bounds verdict touches hundreds of CCQ pairs, and warm-start
+    snapshots can only persist what eviction has not already dropped.
     """
 
     def __init__(self, registry: SemiringRegistry | None = None, *,
-                 parse_cache_size: int = 8192,
-                 hom_cache_size: int = 4096,
-                 verdict_cache_size: int = 4096,
-                 cover_cache_size: int = 4096,
-                 description_cache_size: int = 2048):
+                 parse_cache_size: int = 16384,
+                 hom_cache_size: int = 65536,
+                 verdict_cache_size: int = 16384,
+                 cover_cache_size: int = 65536,
+                 description_cache_size: int = 8192):
         self.registry = (registry if registry is not None
                          else DEFAULT_REGISTRY.copy())
         self.stats = EngineStats()
@@ -270,14 +276,53 @@ class ContainmentEngine:
         return result
 
     def covered_atoms(self, source, target) -> frozenset:
-        """LRU-cached homomorphic atom coverage (the ``⇉`` primitive)."""
+        """LRU-cached homomorphic atom coverage (the ``⇉`` primitive).
+
+        Shares one search per ``(source, target)`` pair with
+        :meth:`homomorphism_mappings`: a cached enumeration is replayed
+        for free, and when coverage itself must *exhaust* the search
+        (the covering-failure case, where the work actually lives) the
+        complete enumeration it produced is cached for later
+        enumeration asks.  When coverage succeeds early the iteration
+        still stops as soon as every target atom is reached — never
+        materializing an enumeration the old lazy path would have
+        skipped, which can be exponentially larger.
+        """
         key = (source, target)
         hit = self._covered.get(key, _MISSING)
         if hit is not _MISSING:
             self.stats.cover_hits += 1
             return hit
         self.stats.cover_calls += 1
-        result = covered_atoms(source, target)
+        target_atoms = set(target.atoms)
+        covered: set = set()
+        enum_key = (source, target, HomKind.PLAIN)
+        cached_mappings = self._hom_enums.get(enum_key, _MISSING)
+        if cached_mappings is not _MISSING:
+            self.stats.hom_enum_hits += 1
+            for mapping in cached_mappings:
+                covered.update(target_atoms.intersection(
+                    atom.substitute(mapping) for atom in source.atoms))
+                if len(covered) == len(target_atoms):
+                    break
+        else:
+            collected: list = []
+            exhausted = True
+            for mapping in homomorphisms(source, target, HomKind.PLAIN):
+                collected.append(mapping)
+                covered.update(target_atoms.intersection(
+                    atom.substitute(mapping) for atom in source.atoms))
+                if len(covered) == len(target_atoms):
+                    exhausted = False  # stopped early: enumeration partial
+                    break
+            if exhausted:
+                self.stats.hom_enum_calls += 1
+                self._hom_enums.put(enum_key, tuple(collected))
+            # Either way the search learned the existence answer.
+            if self._homs.get(enum_key, _MISSING) is _MISSING:
+                self._homs.put(enum_key,
+                               collected[0] if collected else None)
+        result = frozenset(covered)
         self._covered.put(key, result)
         return result
 
@@ -377,6 +422,85 @@ class ContainmentEngine:
         self._covered.clear()
         self._descriptions.clear()
         self._verdicts.clear()
+
+    # -- snapshot hooks --------------------------------------------------
+
+    def export_caches(self, *, include_verdicts: bool = True) -> dict:
+        """Every cache layer as picklable ``layer → [(key, value), ...]``.
+
+        Semiring *instances* never leave the engine: the classification
+        and verdict layers are re-keyed by canonical registry name, and
+        entries for semirings passed directly as unregistered instances
+        are dropped (a name is the only identity that survives a
+        process boundary).  Entry lists keep LRU order (least recently
+        used first), so importing into a same-sized engine reproduces
+        the recency order.  ``include_verdicts=False`` exports only the
+        semiring-independent structural layers plus classifications —
+        the right payload when restored runs must produce verdict
+        documents byte-identical to cold runs (a restored verdict layer
+        answers with ``cached: true``).
+        """
+        names = {id(semiring): semiring.name for semiring in self.registry}
+        verdicts = []
+        if include_verdicts:
+            for (semiring, q1, q2, equivalence), document \
+                    in self._verdicts.items():
+                name = names.get(id(semiring))
+                if name is not None:
+                    verdicts.append(((name, q1, q2, equivalence), document))
+        return {
+            "classifications": [
+                (names[id(semiring)], classification)
+                for semiring, classification in self._classifications.items()
+                if id(semiring) in names
+            ],
+            "parsed": self._parsed.items(),
+            "homs": self._homs.items(),
+            "hom_enums": self._hom_enums.items(),
+            "covered": self._covered.items(),
+            "descriptions": self._descriptions.items(),
+            "verdicts": verdicts,
+        }
+
+    def import_caches(self, state: Mapping[str, Any]) -> dict[str, int]:
+        """Install exported cache entries; returns per-layer counts.
+
+        The inverse of :meth:`export_caches` — names resolve through
+        *this* engine's registry, and entries whose semiring name is
+        unknown here are skipped (never an error: a snapshot is an
+        optimization, not a contract).  Existing entries are
+        overwritten; stats counters are untouched.  Soundness assumes
+        the name resolves to a semiring equivalent to the one that
+        produced the entry — snapshots are meant to be restored into
+        engines with the same registry contents.
+        """
+        counts = {}
+        restored = 0
+        for name, classification in state.get("classifications", ()):
+            semiring = self.registry.find(name)
+            if semiring is not None:
+                self._classifications[semiring] = classification
+                restored += 1
+        counts["classifications"] = restored
+        for layer, lru in (("parsed", self._parsed),
+                           ("homs", self._homs),
+                           ("hom_enums", self._hom_enums),
+                           ("covered", self._covered),
+                           ("descriptions", self._descriptions)):
+            restored = 0
+            for key, value in state.get(layer, ()):
+                lru.put(key, value)
+                restored += 1
+            counts[layer] = restored
+        restored = 0
+        for (name, q1, q2, equivalence), document \
+                in state.get("verdicts", ()):
+            semiring = self.registry.find(name)
+            if semiring is not None:
+                self._verdicts.put((semiring, q1, q2, equivalence), document)
+                restored += 1
+        counts["verdicts"] = restored
+        return counts
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<ContainmentEngine semirings={len(self.registry)} "

@@ -12,6 +12,9 @@ Usage (after installation)::
         --q1 "Q() :- R(v), S(v)" \\
         --q2 "Q() :- R(v), R(v)" --q2 "Q() :- S(v), S(v)"
     python -m repro batch --input requests.jsonl
+    python -m repro batch --workers 4 --snapshot caches.snap \\
+        --input requests.jsonl
+    python -m repro serve --snapshot caches.snap --flush-every 200
     python -m repro minimize --semiring B "Q(x) :- R(x, y), R(x, z)"
     python -m repro evaluate --semiring N \\
         --fact "R(a, b) = 2" --fact "S(b) = 3" "Q(x) :- R(x, y), S(y)"
@@ -23,7 +26,11 @@ with a fresh provenance token).
 
 The ``batch`` command streams JSONL: one request object per input line
 (``{"semiring": ..., "q1": ..., "q2": ..., "id": ...}``), one verdict
-document per output line, errors reported in-band.
+document per output line, errors reported in-band.  ``--workers N``
+shards the stream across engine processes (order preserved) and
+``--snapshot PATH`` warm-starts from — and re-persists — the engine
+caches.  ``serve`` keeps the same JSONL protocol alive as a long-lived
+stdio or TCP service with control ops (ping/stats/snapshot/shutdown).
 """
 
 from __future__ import annotations
@@ -139,27 +146,140 @@ def _cmd_contain(args) -> int:
     return 0 if document.result is not None else 2
 
 
+def _load_engine_snapshot(engine: ContainmentEngine, path: str) -> None:
+    """Warm-start an engine from ``path``; a missing file is a normal
+    first run, an unusable one is a warning — never a failure."""
+    import os
+
+    from .service import SnapshotError, load_snapshot
+
+    if not os.path.exists(path):
+        return
+    try:
+        load_snapshot(engine, path)
+    except SnapshotError as error:
+        print(f"warning: starting cold: {error}", file=sys.stderr)
+
+
 def _cmd_batch(args) -> int:
     from contextlib import ExitStack
 
     engine = args.engine
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 1
+    pool = None
     errors = 0
     with ExitStack() as stack:
+        if args.workers > 1:
+            from .service import WorkerPool
+
+            pool = stack.enter_context(WorkerPool(
+                args.workers, snapshot_path=args.snapshot,
+                include_verdict_snapshot=args.snapshot_verdicts))
+        elif args.snapshot:
+            _load_engine_snapshot(engine, args.snapshot)
         source = (sys.stdin if args.input in (None, "-") else
                   stack.enter_context(open(args.input, encoding="utf-8")))
         sink = (sys.stdout if args.output in (None, "-") else
                 stack.enter_context(open(args.output, "w",
                                          encoding="utf-8")))
-        for document in process_lines(engine, source):
+        for document in process_lines(engine, source, pool=pool):
             if "error" in document:
                 errors += 1
             # flush per line: batch is a streaming filter and downstream
             # consumers must see each verdict as its request is decided.
             print(json.dumps(document, ensure_ascii=False), file=sink,
                   flush=True)
-    if args.stats:
-        print(json.dumps(engine.cache_info()), file=sys.stderr)
+        if args.snapshot:
+            import os
+
+            from .service import save_snapshot
+
+            if pool is not None:
+                pool.save_snapshot(args.snapshot)
+            else:
+                # A fully-warm run computed nothing the snapshot does
+                # not already contain — skip the redundant rewrite.
+                stats = engine.stats
+                computed = (stats.parse_calls + stats.classify_calls
+                            + stats.hom_calls + stats.hom_enum_calls
+                            + stats.cover_calls + stats.description_calls)
+                if args.snapshot_verdicts:
+                    computed += stats.decisions - stats.verdict_hits
+                if computed or not os.path.exists(args.snapshot):
+                    save_snapshot(engine, args.snapshot,
+                                  include_verdicts=args.snapshot_verdicts)
+        if args.stats:
+            info = (engine.cache_info() if pool is None
+                    else {"workers": pool.stats()})
+            print(json.dumps(info), file=sys.stderr)
     return 0 if errors == 0 else 1
+
+
+def _parse_tcp_address(text: str) -> tuple[str, int]:
+    """``[HOST:]PORT`` → ``(host, port)`` (host defaults to loopback)."""
+    host, _, port_text = text.rpartition(":")
+    if not port_text.isdigit():
+        raise ValueError(f"cannot parse TCP address {text!r}; "
+                         "expected [HOST:]PORT")
+    return host or "127.0.0.1", int(port_text)
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .service import DecisionServer, WorkerPool
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 1
+    tcp_address = None
+    if args.tcp is not None:
+        tcp_address = _parse_tcp_address(args.tcp)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    pool = None
+    if args.workers > 1:
+        pool = WorkerPool(args.workers, snapshot_path=args.snapshot,
+                          include_verdict_snapshot=args.snapshot_verdicts)
+    server = DecisionServer(
+        engine=None if pool is not None else args.engine,
+        pool=pool,
+        snapshot_path=args.snapshot,
+        include_verdict_snapshot=args.snapshot_verdicts,
+        flush_every=args.flush_every,
+        flush_interval=args.flush_interval)
+    try:
+        if tcp_address is not None:
+            host, port = tcp_address
+            import threading
+            ready = threading.Event()
+            announce = threading.Thread(
+                target=lambda: (ready.wait(), print(
+                    f"serving on {server.tcp_address[0]}:"
+                    f"{server.tcp_address[1]}", file=sys.stderr)),
+                daemon=True)
+            announce.start()
+            server.serve_tcp(host, port, ready=ready)
+        else:
+            server.serve_lines(sys.stdin, sys.stdout)
+    except KeyboardInterrupt:
+        pass  # graceful: final flush happens below
+    finally:
+        server.close()
+        if pool is not None:
+            pool.close()
+    if args.stats:
+        print(json.dumps({"served": server.served,
+                          "errors": server.errors}), file=sys.stderr)
+    return 0
 
 
 def _cmd_minimize(args) -> int:
@@ -263,9 +383,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL request file ('-' for stdin)")
     batch.add_argument("--output", default="-",
                        help="JSONL verdict file ('-' for stdout)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="decide across N engine processes (default 1: "
+                            "in-process); identical requests share a "
+                            "worker's caches and output order is preserved")
+    batch.add_argument("--snapshot", metavar="PATH",
+                       help="warm-start caches from PATH if it exists and "
+                            "write the run's caches back to it at the end")
+    batch.add_argument("--snapshot-verdicts", action="store_true",
+                       help="include the verdict cache in the snapshot "
+                            "(warmed runs then answer repeats with "
+                            "cached=true instead of recomputing)")
     batch.add_argument("--stats", action="store_true",
                        help="print engine cache stats to stderr at the end")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve", help="long-lived JSONL decision service (stdio or TCP)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="decide across N engine processes (default 1)")
+    serve.add_argument("--snapshot", metavar="PATH",
+                       help="warm-start from PATH and flush caches back "
+                            "to it (periodically and at shutdown)")
+    serve.add_argument("--snapshot-verdicts", action="store_true",
+                       help="include the verdict cache in snapshot flushes")
+    serve.add_argument("--flush-every", type=int, default=500,
+                       metavar="N",
+                       help="flush the snapshot every N decisions "
+                            "(default 500; 0 disables)")
+    serve.add_argument("--flush-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="also flush the snapshot on a timer "
+                            "(default 0: disabled)")
+    serve.add_argument("--tcp", metavar="[HOST:]PORT",
+                       help="serve over TCP instead of stdin/stdout "
+                            "(port 0 picks a free port)")
+    serve.add_argument("--stats", action="store_true",
+                       help="print served/error counts to stderr at exit")
+    serve.set_defaults(func=_cmd_serve)
 
     minimize = commands.add_parser(
         "minimize", help="remove atoms while preserving K-equivalence")

@@ -30,7 +30,7 @@ from ..data.canonical import canonical_instance
 from ..data.instance import Instance
 from ..queries.ccq import complete_description
 from ..queries.cq import CQ
-from ..queries.evaluation import evaluate
+from ..queries.evaluation import evaluate_all
 from ..queries.ucq import UCQ, as_ucq
 
 __all__ = ["Counterexample", "find_counterexample", "refutes"]
@@ -83,9 +83,16 @@ def _canonical_search(q1: UCQ, q2: UCQ, semiring, pool: list,
         for ccq in complete_description(member):
             tagged = canonical_instance(ccq)
             domain = tuple(ccq.variables()) + ccq.constants()
+            # One evaluation per (instance, query): every answer of both
+            # queries over ⟦ccq⟧ is computed in a single join sweep, and
+            # the per-target loop below becomes dictionary lookups
+            # (targets without an entry evaluate to the zero polynomial).
+            left_answers = evaluate_all(q1, tagged.instance, NX)
+            right_answers = evaluate_all(q2, tagged.instance, NX)
+            zero_poly = NX.zero
             for target in product(domain, repeat=ccq.arity):
-                left_poly = evaluate(q1, tagged.instance, target, NX)
-                right_poly = evaluate(q2, tagged.instance, target, NX)
+                left_poly = left_answers.get(target, zero_poly)
+                right_poly = right_answers.get(target, zero_poly)
                 valuations = []
                 generic = _generic_valuation(semiring, tagged.tag_names)
                 if generic is not None:
@@ -126,9 +133,13 @@ def _random_search(q1: UCQ, q2: UCQ, semiring, rng: random.Random,
     for instance in _random_instances(schema, semiring, rng, rounds,
                                       domain_size):
         domain = tuple(range(domain_size))
+        # As in the canonical search: evaluate each query once per
+        # instance, then sweep targets as lookups.
+        lhs_answers = evaluate_all(q1, instance)
+        rhs_answers = evaluate_all(q2, instance)
         for target in product(domain, repeat=arity):
-            lhs = evaluate(q1, instance, target)
-            rhs = evaluate(q2, instance, target)
+            lhs = lhs_answers.get(target, semiring.zero)
+            rhs = rhs_answers.get(target, semiring.zero)
             if not semiring.leq(lhs, rhs):
                 return Counterexample(instance, target, lhs, rhs,
                                       source="random")

@@ -30,6 +30,11 @@ class Var:
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Var is immutable")
 
+    def __reduce__(self):
+        # Slotted + immutable: rebuild through the constructor so pickled
+        # variables (worker-pool requests, cache snapshots) stay valid.
+        return (Var, (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Var) and self.name == other.name
 
@@ -78,6 +83,9 @@ class Atom:
 
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Atom is immutable")
+
+    def __reduce__(self):
+        return (Atom, (self.relation, self.terms))
 
     @property
     def arity(self) -> int:

@@ -58,6 +58,11 @@ class CQWithInequalities(CQ):
         object.__setattr__(
             self, "_hash", hash((self.head, self.atoms, self.inequalities)))
 
+    def __reduce__(self):
+        # Overrides CQ's hook: the inequality pairs must travel too.
+        return (_restore_ccq,
+                (self.head, self.atoms, self.inequalities))
+
     # -- structure ------------------------------------------------------
 
     def is_complete(self) -> bool:
@@ -123,6 +128,16 @@ class CQWithInequalities(CQ):
             sorted(tuple(sorted(pair)) for pair in self.inequalities)
         )
         return f"{base}, {constraints}"
+
+
+def _restore_ccq(head: tuple, atoms: tuple,
+                 inequalities: frozenset) -> CQWithInequalities:
+    """Unpickling fast path, mirroring :func:`repro.queries.cq._restore_cq`."""
+    self = CQWithInequalities._from_canonical(head, atoms)
+    object.__setattr__(self, "inequalities", inequalities)
+    object.__setattr__(
+        self, "_hash", hash((head, atoms, inequalities)))
+    return self
 
 
 def set_partitions(items: tuple) -> Iterator[tuple[tuple, ...]]:

@@ -54,6 +54,28 @@ class CQ:
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("CQ is immutable")
 
+    def __reduce__(self):
+        # Rebuild through the trusted fast path: the default slot-based
+        # pickle would trip the immutability guard, re-validating via
+        # the constructor is measurable at snapshot scale (tens of
+        # thousands of queries), and the derived matching structures in
+        # ``_hom_cache`` are per-process anyway.
+        return (_restore_cq, (self.head, self.atoms))
+
+    @classmethod
+    def _from_canonical(cls, head: tuple, atoms: tuple) -> "CQ":
+        """Rebuild from already-validated, already-sorted parts.
+
+        The unpickling fast path: skips sorting and the head/body
+        checks, which the pickling process already established.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "_hash", hash((head, atoms)))
+        object.__setattr__(self, "_hom_cache", {})
+        return self
+
     # -- structure ------------------------------------------------------
 
     @property
@@ -132,3 +154,8 @@ class CQ:
         head = ", ".join(repr(v) for v in self.head)
         body = ", ".join(repr(atom) for atom in self.atoms)
         return f"Q({head}) :- {body}"
+
+
+def _restore_cq(head: tuple, atoms: tuple) -> CQ:
+    """Module-level unpickling hook for :meth:`CQ._from_canonical`."""
+    return CQ._from_canonical(head, atoms)

@@ -37,6 +37,9 @@ class UCQ:
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("UCQ is immutable")
 
+    def __reduce__(self):
+        return (UCQ, (self.cqs,))
+
     # -- structure ------------------------------------------------------
 
     @property

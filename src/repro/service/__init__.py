@@ -1,0 +1,38 @@
+"""``repro.service`` — the containment engine as a deployable service.
+
+Three layers turn the cached :class:`~repro.api.ContainmentEngine`
+library facade into a scalable decision service:
+
+* :mod:`repro.service.pool` — :class:`WorkerPool`, a multiprocess
+  ``decide_many``/``decide_stream`` that shards requests onto
+  per-process engines by a deterministic query/semiring digest
+  (identical pairs share one worker's LRUs), preserves input order and
+  reports per-worker engine stats;
+* :mod:`repro.service.snapshot` — versioned, validated warm-start
+  snapshots of every engine cache layer, so short-lived CLI batch runs
+  stop re-paying for structural work;
+* :mod:`repro.service.server` — :class:`DecisionServer`, a long-lived
+  stdin/stdout or TCP JSONL loop with in-band errors, control ops and
+  periodic snapshot flushes, behind ``python -m repro serve``.
+"""
+
+from .pool import DecisionError, WorkerPool, shard_key
+from .server import DecisionServer
+from .snapshot import (SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SnapshotError,
+                       load_snapshot, merge_states, read_snapshot,
+                       save_snapshot, write_snapshot)
+
+__all__ = [
+    "DecisionError",
+    "DecisionServer",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "WorkerPool",
+    "load_snapshot",
+    "merge_states",
+    "read_snapshot",
+    "save_snapshot",
+    "shard_key",
+    "write_snapshot",
+]

@@ -1,0 +1,442 @@
+"""A sharded multiprocess worker pool over :class:`ContainmentEngine`.
+
+``ContainmentEngine.decide_many`` is strictly sequential — fine for a
+library call, wasteful for the rewrite-auditing and bag-semantics sweep
+workloads that issue thousands of independent Table-1 decisions.
+:class:`WorkerPool` runs one engine per OS process and shards requests
+with a *deterministic* digest of the parsed-query/semiring key, so:
+
+* identical ``(semiring, q1, q2, equivalence)`` requests always land on
+  the same worker and therefore share that worker's verdict LRU — a
+  repeat is a ``cached: true`` hit exactly as in a sequential engine;
+* structurally similar requests cluster, so the per-worker structural
+  LRUs (hom search/enumeration, covered atoms, descriptions) stay hot;
+* the assignment is reproducible across runs (the digest does not
+  depend on ``PYTHONHASHSEED``).
+
+Results are returned in input order regardless of which worker finishes
+first.  Per-request failures (unknown semirings, malformed queries) are
+reported in-band as :class:`DecisionError` values — one bad request
+never kills the stream.  A worker process that dies is detected and its
+in-flight requests are converted to in-band errors; the pool refuses
+new work for its shard afterwards.
+
+Workers can warm-start from a :mod:`repro.service.snapshot` file, and
+:meth:`WorkerPool.collect_caches` gathers the merged cache state back
+out of the workers so a batch run can leave a fresh snapshot behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..api.batch import error_text
+from ..api.documents import (ContainmentRequest, VerdictDocument,
+                             coerce_request_id)
+from ..api.engine import ContainmentEngine
+from ..queries.parser import ParseError
+from .snapshot import SnapshotError, load_snapshot, merge_states
+
+__all__ = ["DecisionError", "WorkerPool", "shard_key"]
+
+#: Exceptions a decision may raise that are *request* problems, not
+#: pool problems — converted to in-band errors.
+_REQUEST_ERRORS = (ValueError, TypeError, KeyError, ParseError)
+
+
+@dataclass(frozen=True)
+class DecisionError:
+    """An in-band per-request failure from the pool.
+
+    Mirrors the error objects of the JSONL batch stream: the message
+    text plus the request's correlation id (when one was readable).
+    """
+
+    error: str
+    id: str | None = None
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able representation."""
+        data: dict = {"error": self.error}
+        if self.id is not None:
+            data["id"] = self.id
+        return data
+
+
+def shard_key(request: ContainmentRequest, registry=None) -> bytes:
+    """The deterministic sharding key of a request.
+
+    Built from the canonical semiring name (resolved through
+    ``registry`` so aliases like ``"bool"`` and ``"B"`` co-locate) and
+    the canonical reprs of the parsed queries — both stable across
+    processes and runs.  Must align with the engine's verdict-cache key:
+    same shard key ⟺ same verdict-cache entry, which is what makes a
+    parallel run's ``cached`` flags identical to a sequential run's.
+    """
+    token = request.semiring
+    if registry is not None:
+        semiring = registry.find(request.semiring)
+        if semiring is not None:
+            token = semiring.name
+    return "\x1f".join((token, repr(request.q1), repr(request.q2),
+                        str(int(request.equivalence)))).encode("utf-8")
+
+
+def _worker_main(index: int, inbox, outbox, snapshot_path,
+                 include_verdicts: bool) -> None:
+    """One worker process: an engine plus a message loop."""
+    engine = ContainmentEngine()
+    if snapshot_path is not None:
+        try:
+            load_snapshot(engine, snapshot_path)
+        except SnapshotError:
+            pass  # a stale/corrupt snapshot means a cold start, not a crash
+    try:
+        while True:
+            message = inbox.get()
+            kind = message[0]
+            if kind == "req":
+                _, seq, request = message
+                try:
+                    outbox.put(("ok", seq, engine.decide_request(request)))
+                except _REQUEST_ERRORS as error:
+                    outbox.put(("err", seq, error_text(error), request.id))
+            elif kind == "caches":
+                outbox.put(("caches", index,
+                            engine.export_caches(
+                                include_verdicts=message[1])))
+            elif kind == "stats":
+                outbox.put(("stats", index, engine.cache_info()))
+            elif kind == "stop":
+                outbox.put(("bye", index))
+                return
+    except (KeyboardInterrupt, EOFError, OSError):
+        return  # parent went away or is shutting down
+
+
+class WorkerPool:
+    """``decide_many``/``decide_stream`` across a pool of engine processes.
+
+    ``workers`` defaults to ``os.cpu_count()``.  ``snapshot_path`` makes
+    every worker warm-start from that snapshot file (missing or stale
+    files are silently ignored).  The pool is a context manager; always
+    :meth:`close` it (worker processes are not daemons of your request
+    stream).
+
+    Thread safety: all public methods may be called from multiple
+    threads (a TCP server decides from one thread per connection); a
+    single background collector routes worker replies to waiters.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 snapshot_path: str | os.PathLike | None = None,
+                 include_verdict_snapshot: bool = True,
+                 start_method: str | None = None):
+        count = workers if workers is not None else (os.cpu_count() or 1)
+        if count < 1:
+            raise ValueError(f"need at least one worker, got {count}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self._snapshot_path = (os.fspath(snapshot_path)
+                               if snapshot_path is not None else None)
+        self._include_verdict_snapshot = include_verdict_snapshot
+        # Parent-side engine: parse interning for request normalization
+        # plus the registry for canonical shard keys.  It never decides.
+        self._parent_engine = ContainmentEngine()
+        self._outbox = context.Queue()
+        self._inboxes = [context.Queue() for _ in range(count)]
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(index, self._inboxes[index], self._outbox,
+                      self._snapshot_path, include_verdict_snapshot),
+                name=f"repro-worker-{index}", daemon=True)
+            for index in range(count)
+        ]
+        for process in self._processes:
+            process.start()
+        self._cond = threading.Condition()
+        self._results: dict[int, tuple] = {}
+        self._replies: dict[str, dict[int, Any]] = {"caches": {},
+                                                    "stats": {}}
+        self._assigned: dict[int, int] = {}     # seq → worker index
+        self._dead: set[int] = set()
+        self._next_seq = 0
+        self._dispatch_lock = threading.Lock()
+        self._control_lock = threading.Lock()
+        self._closed = False
+        self._stop = threading.Event()
+        self._collector = threading.Thread(target=self._collect,
+                                           name="repro-pool-collector",
+                                           daemon=True)
+        self._collector.start()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (including any that have died)."""
+        return len(self._processes)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the workers and the collector (idempotent)."""
+        with self._dispatch_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for index, inbox in enumerate(self._inboxes):
+            if index not in self._dead:
+                try:
+                    inbox.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover - teardown
+                    pass
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(1.0)
+        self._stop.set()
+        self._collector.join(timeout=2.0)
+        for q in (*self._inboxes, self._outbox):
+            q.close()
+            q.cancel_join_thread()
+
+    # -- result collection ----------------------------------------------
+
+    def _collect(self) -> None:
+        """Single reader of the worker outbox; routes replies to waiters."""
+        while not self._stop.is_set():
+            try:
+                message = self._outbox.get(timeout=0.1)
+            except queue.Empty:
+                self._reap_dead_workers()
+                continue
+            except (EOFError, OSError):  # pragma: no cover - teardown
+                return
+            with self._cond:
+                kind = message[0]
+                if kind in ("ok", "err"):
+                    self._assigned.pop(message[1], None)
+                    self._results[message[1]] = message
+                elif kind in ("caches", "stats"):
+                    self._replies[kind][message[1]] = message[2]
+                self._cond.notify_all()
+
+    def _reap_dead_workers(self) -> None:
+        """Turn the pending work of crashed workers into in-band errors."""
+        if self._closed:
+            return
+        for index, process in enumerate(self._processes):
+            if index in self._dead or process.is_alive():
+                continue
+            with self._cond:
+                self._dead.add(index)
+                pending = [seq for seq, worker in self._assigned.items()
+                           if worker == index]
+                for seq in pending:
+                    del self._assigned[seq]
+                    self._results[seq] = (
+                        "err", seq,
+                        f"worker {index} exited with code "
+                        f"{process.exitcode} while deciding", None)
+                self._cond.notify_all()
+
+    # -- dispatch --------------------------------------------------------
+
+    def shard_of(self, request: ContainmentRequest) -> int:
+        """The worker index a request is routed to (deterministic)."""
+        digest = hashlib.blake2b(
+            shard_key(request, self._parent_engine.registry),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") % len(self._processes)
+
+    def submit(self, request: ContainmentRequest) -> int:
+        """Queue one request; returns its sequence token for :meth:`result`."""
+        worker = self.shard_of(request)
+        with self._dispatch_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if worker in self._dead:
+                raise RuntimeError(
+                    f"worker {worker} died; its shard cannot accept work")
+            seq = self._next_seq
+            self._next_seq += 1
+            with self._cond:
+                self._assigned[seq] = worker
+            self._inboxes[worker].put(("req", seq, request))
+            return seq
+
+    def result(self, seq: int,
+               timeout: float | None = None) -> VerdictDocument | DecisionError:
+        """Wait for one submitted request's outcome (in-band errors)."""
+        with self._cond:
+            while seq not in self._results:
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(f"no result for request #{seq}")
+            message = self._results.pop(seq)
+        if message[0] == "ok":
+            return message[2]
+        return DecisionError(message[2], id=message[3])
+
+    def _normalize(self, item) -> ContainmentRequest:
+        """Coerce dict/request inputs, sharing the parent parse cache."""
+        if isinstance(item, ContainmentRequest):
+            return item
+        if isinstance(item, Mapping):
+            return ContainmentRequest.from_dict(
+                item, parse=self._parent_engine.parse)
+        raise TypeError(f"cannot read request {item!r}")
+
+    # -- deciding --------------------------------------------------------
+
+    def decide_one(self,
+                   request) -> VerdictDocument | DecisionError:
+        """Decide a single request (dicts accepted); errors in-band."""
+        try:
+            normalized = self._normalize(request)
+        except _REQUEST_ERRORS as error:
+            request_id = None
+            if isinstance(request, Mapping):
+                try:
+                    request_id = coerce_request_id(request.get("id"))
+                except TypeError:
+                    request_id = None
+            return DecisionError(error_text(error), id=request_id)
+        try:
+            seq = self.submit(normalized)
+        except RuntimeError as error:  # dead shard / closed pool: in-band
+            return DecisionError(str(error), id=normalized.id)
+        return self.result(seq)
+
+    def decide_stream(self, requests: Iterable, *,
+                      window: int | None = None
+                      ) -> Iterator[VerdictDocument | DecisionError]:
+        """Lazily decide an iterable of requests, preserving input order.
+
+        Keeps at most ``window`` requests in flight (default
+        ``32 × workers``), so an endless stream runs at bounded memory;
+        results are yielded strictly in input order even though workers
+        finish out of order.
+        """
+        window = window if window is not None else 32 * len(self._processes)
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        outputs: deque = deque()   # ("done", value) | ("seq", token)
+        iterator = iter(requests)
+        exhausted = False
+        in_flight = 0
+        while True:
+            while not exhausted and in_flight < window:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                try:
+                    request = self._normalize(item)
+                except _REQUEST_ERRORS as error:
+                    request_id = None
+                    if isinstance(item, Mapping):
+                        try:
+                            request_id = coerce_request_id(item.get("id"))
+                        except TypeError:
+                            request_id = None
+                    outputs.append(("done", DecisionError(
+                        error_text(error), id=request_id)))
+                    continue
+                try:
+                    outputs.append(("seq", self.submit(request)))
+                except RuntimeError as error:  # dead shard: in-band
+                    outputs.append(("done", DecisionError(
+                        str(error), id=request.id)))
+                    continue
+                in_flight += 1
+            if not outputs:
+                if exhausted:
+                    return
+                continue  # pragma: no cover - window >= 1 always queues
+            kind, value = outputs.popleft()
+            if kind == "done":
+                yield value
+            else:
+                in_flight -= 1
+                yield self.result(value)
+
+    def decide_many(self, requests: Iterable
+                    ) -> list[VerdictDocument | DecisionError]:
+        """Decide a batch of requests across the pool, preserving order."""
+        return list(self.decide_stream(requests))
+
+    # -- introspection / snapshots ---------------------------------------
+
+    def _broadcast(self, kind: str, payload: tuple = (),
+                   timeout: float = 60.0) -> list:
+        """Send a control message to every live worker; gather replies."""
+        with self._control_lock:
+            with self._cond:
+                self._replies[kind] = {}
+            live = [index for index in range(len(self._processes))
+                    if index not in self._dead]
+            for index in live:
+                self._inboxes[index].put((kind, *payload))
+            with self._cond:
+                while True:
+                    expected = [index for index in live
+                                if index not in self._dead]
+                    replies = self._replies[kind]
+                    if all(index in replies for index in expected):
+                        return [replies[index] for index in sorted(replies)]
+                    if not self._cond.wait(timeout=timeout):
+                        raise TimeoutError(
+                            f"workers did not answer {kind!r} request")
+
+    def stats(self) -> list[dict[str, int]]:
+        """Per-worker ``cache_info()`` (stats counters + cache sizes),
+        ordered by worker index.  Call between batches: replies queue
+        behind any in-flight decisions on each worker."""
+        return self._broadcast("stats")
+
+    def aggregate_stats(self) -> dict[str, int]:
+        """The per-worker stats summed into one counters dict."""
+        totals: dict[str, int] = {}
+        for info in self.stats():
+            for key, value in info.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def collect_caches(self, *, include_verdicts: bool | None = None) -> dict:
+        """The merged cache state of every worker (snapshot payload)."""
+        if include_verdicts is None:
+            include_verdicts = self._include_verdict_snapshot
+        return merge_states(self._broadcast("caches", (include_verdicts,)))
+
+    def save_snapshot(self, path: str | os.PathLike | None = None, *,
+                      include_verdicts: bool | None = None) -> dict[str, int]:
+        """Write the merged worker caches as a snapshot file.
+
+        ``path`` defaults to the pool's warm-start path.  Returns the
+        per-layer entry counts written.
+        """
+        from .snapshot import write_snapshot
+        path = path if path is not None else self._snapshot_path
+        if path is None:
+            raise ValueError("no snapshot path configured")
+        state = self.collect_caches(include_verdicts=include_verdicts)
+        write_snapshot(state, path,
+                       semirings=self._parent_engine.registry.names())
+        return {layer: len(entries) for layer, entries in state.items()}

@@ -1,0 +1,334 @@
+"""Long-lived JSONL decision service (``python -m repro serve``).
+
+Wraps one :class:`ContainmentEngine` (or a
+:class:`~repro.service.pool.WorkerPool`) in a newline-delimited-JSON
+request/response loop, served either over stdin/stdout (the default —
+composable with pipes and process supervisors) or over TCP (one
+concurrent JSONL conversation per connection).
+
+Protocol
+--------
+One JSON object per line.  A *decision* request is exactly the JSONL
+batch format::
+
+    {"semiring": "B", "q1": "Q() :- R(x, y)", "q2": "Q() :- R(x, x)",
+     "id": "r1"}
+
+and is answered with the verdict document (the ``request_id`` echoes
+``id``).  Malformed lines and per-request failures are answered
+*in-band* as ``{"error": ..., "id": ...}`` — the loop never dies on a
+bad request.  Blank lines and ``#`` comments are ignored.
+
+A *control* request is an object with an ``"op"`` key:
+
+``{"op": "ping"}``
+    liveness probe; answers ``{"op": "ping", "ok": true}``.
+``{"op": "stats"}``
+    engine ``cache_info()`` (or the per-worker list for a pool).
+``{"op": "snapshot"}``
+    flush the warm-start snapshot now; answers the per-layer counts.
+``{"op": "shutdown"}``
+    acknowledge, flush the snapshot, and stop serving (stdio: end the
+    loop; TCP: stop the whole server).
+
+Shutdown is always graceful: EOF on stdin, the ``shutdown`` op, and
+``SIGINT``/``SIGTERM`` (installed by the CLI) all run the final
+snapshot flush before the process exits.  When a snapshot path is
+configured, the server also flushes periodically — every
+``flush_every`` decisions and/or every ``flush_interval`` seconds —
+so a crash loses at most one flush window of cache warmth.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Iterable, TextIO
+
+from ..api.batch import error_text
+from ..api.documents import ContainmentRequest, coerce_request_id
+from ..api.engine import ContainmentEngine
+from ..queries.parser import ParseError
+from .pool import DecisionError, WorkerPool
+from .snapshot import SnapshotError, load_snapshot, save_snapshot
+
+__all__ = ["DecisionServer"]
+
+_REQUEST_ERRORS = (ValueError, TypeError, KeyError, ParseError)
+
+
+class DecisionServer:
+    """A JSONL request/response loop over an engine or a worker pool.
+
+    Exactly one of ``engine``/``pool`` is used: pass a ``pool`` for
+    multi-core service, otherwise an ``engine`` (created on demand) is
+    decided on directly, guarded by a lock so TCP connection threads
+    can share it.  The server does not own the pool — close it where
+    you created it; :meth:`close` only stops the flush timer and runs
+    the final snapshot flush.
+    """
+
+    def __init__(self, *, engine: ContainmentEngine | None = None,
+                 pool: WorkerPool | None = None,
+                 snapshot_path=None,
+                 include_verdict_snapshot: bool = True,
+                 flush_every: int = 0,
+                 flush_interval: float = 0.0):
+        if pool is not None and engine is not None:
+            raise ValueError("pass an engine or a pool, not both")
+        self._pool = pool
+        self._engine = (None if pool is not None
+                        else (engine or ContainmentEngine()))
+        self._snapshot_path = snapshot_path
+        self._include_verdict_snapshot = include_verdict_snapshot
+        self._flush_every = max(0, int(flush_every))
+        self._flush_interval = max(0.0, float(flush_interval))
+        self._decide_lock = threading.Lock()
+        self._flush_lock = threading.Lock()
+        # Guards the counters: handle_line runs concurrently from TCP
+        # handler threads.
+        self._count_lock = threading.Lock()
+        self._decided_since_flush = 0
+        self._served = 0
+        self._errors = 0
+        self._closed = False
+        self._stopped = threading.Event()
+        self._tcp_server: socketserver.BaseServer | None = None
+        # The warm start: the pool's workers load the snapshot
+        # themselves; an engine-backed server loads it here.
+        if (self._engine is not None and snapshot_path is not None):
+            try:
+                load_snapshot(self._engine, snapshot_path)
+            except SnapshotError:
+                pass  # cold start; the first flush will create the file
+        self._flusher = None
+        if self._snapshot_path is not None and self._flush_interval > 0:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="repro-serve-flusher",
+                daemon=True)
+            self._flusher.start()
+
+    # -- counters --------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        """Decision requests answered so far (including in-band errors)."""
+        return self._served
+
+    @property
+    def errors(self) -> int:
+        """How many of those answers were in-band errors."""
+        return self._errors
+
+    # -- snapshot flushing -----------------------------------------------
+
+    def flush_snapshot(self) -> dict[str, int]:
+        """Write the warm-start snapshot now; returns per-layer counts."""
+        if self._snapshot_path is None:
+            raise ValueError("no snapshot path configured")
+        with self._flush_lock:
+            if self._pool is not None:
+                counts = self._pool.save_snapshot(
+                    self._snapshot_path,
+                    include_verdicts=self._include_verdict_snapshot)
+            else:
+                with self._decide_lock:
+                    counts = save_snapshot(
+                        self._engine, self._snapshot_path,
+                        include_verdicts=self._include_verdict_snapshot)
+            with self._count_lock:
+                self._decided_since_flush = 0
+            return counts
+
+    def _flush_loop(self) -> None:
+        while not self._stopped.wait(self._flush_interval):
+            try:
+                self.flush_snapshot()
+            except Exception:  # pragma: no cover - flush must not kill serve
+                pass
+
+    def _maybe_flush(self) -> None:
+        if (self._snapshot_path is not None and self._flush_every > 0
+                and self._decided_since_flush >= self._flush_every):
+            try:
+                self.flush_snapshot()
+            except Exception:  # pragma: no cover - flush must not kill serve
+                pass
+
+    def close(self) -> None:
+        """Stop the flush timer and run the final snapshot flush.
+
+        Idempotent: the serve loops close on exit and CLI teardown may
+        close again — the snapshot is flushed exactly once.
+        """
+        with self._count_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stopped.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=2.0)
+        if self._snapshot_path is not None:
+            try:
+                self.flush_snapshot()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    # -- request handling ------------------------------------------------
+
+    def _count(self, *, served: int = 0, errors: int = 0,
+               decided: int = 0) -> None:
+        with self._count_lock:
+            self._served += served
+            self._errors += errors
+            self._decided_since_flush += decided
+
+    def _decide(self, data: dict) -> dict:
+        """Decide one request document; in-band error dict on failure."""
+        if self._pool is not None:
+            outcome = self._pool.decide_one(data)
+            if isinstance(outcome, DecisionError):
+                self._count(errors=1)
+                return outcome.to_dict()
+            return outcome.to_dict()
+        request_id = None
+        try:
+            try:
+                request_id = coerce_request_id(data.get("id"))
+            except TypeError:
+                request_id = None
+            with self._decide_lock:
+                request = ContainmentRequest.from_dict(
+                    data, parse=self._engine.parse)
+                return self._engine.decide_request(request).to_dict()
+        except _REQUEST_ERRORS as error:
+            self._count(errors=1)
+            response: dict = {"error": error_text(error)}
+            if request_id is not None:
+                response["id"] = request_id
+            return response
+
+    def _control(self, data: dict) -> tuple[dict, bool]:
+        """Handle an ``op`` object; returns (response, stop-serving)."""
+        op = data["op"]
+        if op == "ping":
+            return {"op": "ping", "ok": True}, False
+        if op == "stats":
+            response: dict = {"op": "stats", "served": self._served,
+                              "errors": self._errors}
+            if self._pool is not None:
+                response["workers"] = self._pool.stats()
+            else:
+                with self._decide_lock:
+                    response["cache_info"] = self._engine.cache_info()
+            return response, False
+        if op == "snapshot":
+            try:
+                return {"op": "snapshot",
+                        "layers": self.flush_snapshot()}, False
+            except (ValueError, OSError) as error:
+                return {"op": "snapshot",
+                        "error": error_text(error)}, False
+        if op == "shutdown":
+            return {"op": "shutdown", "ok": True}, True
+        return {"error": f"unknown op {op!r}"}, False
+
+    def handle_line(self, line: str) -> tuple[dict | None, bool]:
+        """Process one protocol line.
+
+        Returns ``(response, stop)``: ``response`` is ``None`` for
+        blank/comment lines, ``stop`` is True after a ``shutdown`` op.
+        """
+        text = line.strip()
+        if not text or text.startswith("#"):
+            return None, False
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("request line must be a JSON object")
+        except ValueError as error:
+            self._count(served=1, errors=1)
+            return {"error": error_text(error)}, False
+        if "op" in data:
+            return self._control(data)
+        response = self._decide(data)
+        self._count(served=1, decided=1)
+        self._maybe_flush()
+        return response, False
+
+    # -- serving ---------------------------------------------------------
+
+    def serve_lines(self, source: Iterable[str],
+                    sink: TextIO) -> int:
+        """The stdio loop: one response line per request line.
+
+        Flushes per line (downstream consumers must see each verdict as
+        its request is decided) and runs the final snapshot flush on
+        EOF or ``shutdown``.  Returns the number of decision requests
+        served.
+        """
+        try:
+            for line in source:
+                response, stop = self.handle_line(line)
+                if response is not None:
+                    print(json.dumps(response, ensure_ascii=False),
+                          file=sink, flush=True)
+                if stop:
+                    break
+        finally:
+            self.close()
+        return self._served
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0, *,
+                  ready: threading.Event | None = None) -> int:
+        """Serve the JSONL protocol over TCP until shut down.
+
+        Each connection is its own conversation; connections are
+        handled in threads, sharing this server's engine/pool.  With
+        ``port=0`` the OS picks a free port — :attr:`tcp_address`
+        carries the bound address once ``ready`` is set.  Returns the
+        number of decision requests served.
+        """
+        decision_server = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                for raw in self.rfile:
+                    line = raw.decode("utf-8", errors="replace")
+                    response, stop = decision_server.handle_line(line)
+                    if response is not None:
+                        payload = json.dumps(response, ensure_ascii=False)
+                        try:
+                            self.wfile.write(payload.encode("utf-8") + b"\n")
+                            self.wfile.flush()
+                        except (BrokenPipeError, ConnectionError):
+                            return
+                    if stop:
+                        # Stop accepting while finishing this handler;
+                        # shutdown() must run off the serve_forever
+                        # thread, and handler threads qualify.
+                        self.server.shutdown()
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        with _Server((host, port), _Handler) as server:
+            self._tcp_server = server
+            self.tcp_address = server.server_address
+            if ready is not None:
+                ready.set()
+            try:
+                server.serve_forever(poll_interval=0.1)
+            finally:
+                self._tcp_server = None
+                self.close()
+        return self._served
+
+    def shutdown(self) -> None:
+        """Stop a running :meth:`serve_tcp` loop from another thread."""
+        server = self._tcp_server
+        if server is not None:
+            server.shutdown()

@@ -369,3 +369,58 @@ def test_batch_unusable_id_reported_in_band():
     (out,) = list(process_lines(engine, [line]))
     assert "error" in out and "request id" in out["error"]
     assert out.get("id") is None  # the unusable id is not echoed raw
+
+
+def test_covered_atoms_and_enumeration_share_one_search():
+    # ROADMAP item: coverage and enumeration share one search per pair.
+    from repro.homomorphisms.covering import covered_atoms as plain_covered
+    from repro.homomorphisms.search import HomKind
+
+    # Covering failure exhausts the search, so the complete enumeration
+    # it produced is cached: the later enumeration ask is a hit.
+    engine = ContainmentEngine()
+    source = engine.parse("Q() :- R(u, v)")
+    target = engine.parse("Q() :- R(a, b), S(a)")
+    result = engine.covered_atoms(source, target)
+    assert result == plain_covered(source, target)
+    assert engine.stats.hom_enum_calls == 1
+    engine.homomorphism_mappings(source, target, HomKind.PLAIN)
+    assert engine.stats.hom_enum_calls == 1
+    assert engine.stats.hom_enum_hits == 1
+    # The search also learned the existence answer.
+    engine.find_homomorphism(source, target, HomKind.PLAIN)
+    assert engine.stats.hom_calls == 0 and engine.stats.hom_hits == 1
+
+    # In the other order a cached enumeration makes coverage search-free.
+    other = ContainmentEngine()
+    other.homomorphism_mappings(other.parse(Q1), other.parse(Q2),
+                                HomKind.PLAIN)
+    assert other.stats.hom_enum_calls == 1
+    other.covered_atoms(other.parse(Q1), other.parse(Q2))
+    assert other.stats.hom_enum_calls == 1
+    assert other.stats.hom_enum_hits == 1
+    assert other.stats.cover_calls == 1
+
+
+def test_covered_atoms_stays_lazy_on_early_success():
+    # A pair with combinatorially many homomorphisms where the first
+    # few already cover the target: coverage must stop early rather
+    # than materialize the full enumeration (which is exponential).
+    from repro.homomorphisms.search import HomKind
+    from repro.queries import CQ, Atom, Var
+
+    source = CQ((), [Atom("R", (Var(f"x{i}"), Var(f"y{i}")))
+                     for i in range(4)])
+    target = CQ((), [Atom("R", (Var("a"), Var("b"))),
+                     Atom("R", (Var("b"), Var("c"))),
+                     Atom("R", (Var("c"), Var("d")))])
+    engine = ContainmentEngine()
+    result = engine.covered_atoms(source, target)
+    assert result == frozenset(target.atoms)
+    # The partial iteration must NOT be cached as a (wrong) complete
+    # enumeration — asking for the enumeration runs the real search
+    # (3^4 = 81 mappings: each independent atom picks a target atom).
+    assert engine.stats.hom_enum_calls == 0
+    mappings = engine.homomorphism_mappings(source, target, HomKind.PLAIN)
+    assert engine.stats.hom_enum_calls == 1
+    assert len(mappings) == 81

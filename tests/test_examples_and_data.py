@@ -44,6 +44,7 @@ def test_personnel_db_clearances():
     "bag_semantics_audit.py",
     "annotated_rdf_access.py",
     "algebra_rewriter.py",
+    "service_warm_start.py",
 ])
 def test_example_scripts_run(script):
     result = subprocess.run(

@@ -71,3 +71,38 @@ def test_errors():
         query_to_dict("not a query")
     with pytest.raises(ValueError):
         query_from_dict({"kind": "cq", "head": [{"nope": 1}], "atoms": []})
+
+
+def test_query_types_pickle_round_trip():
+    # Worker-pool requests and cache snapshots cross process boundaries
+    # via pickle; the slotted immutable types rebuild through their
+    # constructors.
+    import pickle
+
+    rng = random.Random(99)
+    samples = [
+        parse_cq("Q(x) :- R(x, y), R(x, 3), S('a')"),
+        parse_cq("Q() :- R(u, v), u != v"),
+        UCQ((parse_cq("Q(x) :- R(x, y)"), parse_cq("Q(z) :- R(z, z)"))),
+        UCQ(()),
+    ]
+    samples += [random_cq(rng) for _ in range(5)]
+    samples += [random_ucq(rng) for _ in range(5)]
+    for query in samples:
+        restored = pickle.loads(pickle.dumps(query))
+        assert restored == query
+        assert hash(restored) == hash(query)
+        inequalities = getattr(query, "inequalities", None)
+        if inequalities is not None:
+            assert restored.inequalities == inequalities
+
+
+def test_pickled_cq_is_still_immutable_and_rehashed():
+    import pickle
+
+    query = parse_cq("Q(x) :- R(x, y)")
+    restored = pickle.loads(pickle.dumps(query))
+    with pytest.raises(AttributeError):
+        restored.head = ()
+    # The lazily-built matcher cache starts fresh in the new process.
+    assert restored._hom_cache == {}

@@ -1,0 +1,152 @@
+"""The JSONL decision server (stdio and TCP loops)."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+from repro.api import ContainmentEngine
+from repro.service import DecisionServer, WorkerPool, load_snapshot
+
+REQUESTS = [
+    {"semiring": "B", "q1": "Q() :- R(u, v), R(u, w)",
+     "q2": "Q() :- R(u, v), R(u, v)", "id": "r1"},
+    {"semiring": "Lin[X]", "q1": "Q() :- R(u, v), R(u, w)",
+     "q2": "Q() :- R(u, v), R(u, v)", "id": "r2"},
+    {"semiring": "N", "q1": "Q() :- R(u, v)",
+     "q2": "Q() :- R(u, v), R(u, v)", "id": "r3"},
+]
+
+
+def run_stdio(server: DecisionServer, lines: list[str]) -> list[dict]:
+    sink = io.StringIO()
+    server.serve_lines(iter(line + "\n" for line in lines), sink)
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+def test_stdio_loop_decides_and_echoes_ids():
+    responses = run_stdio(DecisionServer(),
+                          [json.dumps(request) for request in REQUESTS])
+    assert [r["request_id"] for r in responses] == ["r1", "r2", "r3"]
+    assert responses[0]["result"] is True
+    assert responses[2]["semiring"] == "N"
+    assert responses[2]["answer"] in ("CONTAINED", "NOT CONTAINED",
+                                      "UNDECIDED")
+
+
+def test_stdio_skips_blanks_and_comments_reports_errors_in_band():
+    lines = ["", "# a comment", "not json", '{"semiring": "nope", '
+             '"q1": "Q() :- R(u)", "q2": "Q() :- R(u)", "id": "x"}',
+             json.dumps(REQUESTS[0])]
+    responses = run_stdio(DecisionServer(), lines)
+    assert len(responses) == 3  # blank + comment produce no output
+    assert "error" in responses[0]
+    assert "error" in responses[1] and responses[1]["id"] == "x"
+    assert responses[2]["request_id"] == "r1"
+
+
+def test_control_ops_ping_stats_shutdown():
+    server = DecisionServer()
+    lines = [json.dumps(REQUESTS[0]), '{"op": "ping"}', '{"op": "stats"}',
+             '{"op": "unknown-op"}', '{"op": "shutdown"}',
+             json.dumps(REQUESTS[1])]  # never reached after shutdown
+    responses = run_stdio(server, lines)
+    assert responses[1] == {"op": "ping", "ok": True}
+    assert responses[2]["op"] == "stats"
+    assert responses[2]["served"] == 1
+    assert responses[2]["cache_info"]["decisions"] == 1
+    assert "error" in responses[3]
+    assert responses[4] == {"op": "shutdown", "ok": True}
+    assert len(responses) == 5  # the loop stopped at shutdown
+    assert server.served == 1
+
+
+def test_snapshot_op_and_periodic_flush(tmp_path):
+    path = tmp_path / "serve.snap"
+    server = DecisionServer(snapshot_path=path, flush_every=1)
+    lines = [json.dumps(request) for request in REQUESTS]
+    lines.insert(2, '{"op": "snapshot"}')
+    responses = run_stdio(server, lines)
+    flush_reply = responses[2]
+    assert flush_reply["op"] == "snapshot"
+    assert flush_reply["layers"]["verdicts"] >= 2
+    assert path.exists()
+    # A fresh engine warm-starts from the flushed snapshot.
+    restored = ContainmentEngine()
+    counts = load_snapshot(restored, path)
+    assert counts["verdicts"] == len(REQUESTS)
+    doc = restored.decide(REQUESTS[0]["q1"], REQUESTS[0]["q2"], "B")
+    assert doc.cached is True
+
+
+def test_server_restart_warm_starts_from_snapshot(tmp_path):
+    path = tmp_path / "serve.snap"
+    run_stdio(DecisionServer(snapshot_path=path),
+              [json.dumps(request) for request in REQUESTS])
+    assert path.exists()  # flushed on graceful EOF shutdown
+    engine = ContainmentEngine()
+    restarted = DecisionServer(engine=engine, snapshot_path=path)
+    responses = run_stdio(restarted,
+                          [json.dumps(request) for request in REQUESTS])
+    assert all(response["cached"] for response in responses)
+    assert engine.stats.hom_calls == 0
+    assert engine.stats.classify_calls == 0
+
+
+def test_structural_snapshot_keeps_serve_output_cold_identical(tmp_path):
+    path = tmp_path / "structural.snap"
+    lines = [json.dumps(request) for request in REQUESTS]
+    cold = run_stdio(DecisionServer(snapshot_path=path,
+                                    include_verdict_snapshot=False), lines)
+    warm = run_stdio(DecisionServer(snapshot_path=path,
+                                    include_verdict_snapshot=False), lines)
+    assert warm == cold  # cached stays false: byte-identical documents
+
+
+def test_pool_backed_server(tmp_path):
+    with WorkerPool(2) as pool:
+        server = DecisionServer(pool=pool)
+        lines = [json.dumps(request) for request in REQUESTS]
+        lines.append('{"op": "stats"}')
+        responses = run_stdio(server, lines)
+        assert [r.get("request_id") for r in responses[:3]] \
+            == ["r1", "r2", "r3"]
+        stats = responses[3]
+        assert len(stats["workers"]) == 2
+        assert sum(info["decisions"] for info in stats["workers"]) \
+            == len(REQUESTS)
+
+
+def _connect_lines(address, lines: list[str]) -> list[dict]:
+    with socket.create_connection(address, timeout=10) as client:
+        with client.makefile("rw", encoding="utf-8", newline="\n") as stream:
+            for line in lines:
+                stream.write(line + "\n")
+            stream.flush()
+            client.shutdown(socket.SHUT_WR)
+            return [json.loads(line) for line in stream]
+
+
+def test_tcp_server_conversation_and_shutdown():
+    server = DecisionServer()
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.serve_tcp, args=("127.0.0.1", 0),
+        kwargs={"ready": ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10)
+    address = server.tcp_address
+    responses = _connect_lines(
+        address, [json.dumps(REQUESTS[0]), '{"op": "ping"}'])
+    assert responses[0]["request_id"] == "r1"
+    assert responses[1]["ok"] is True
+    # Second connection shares the same engine: the repeat is cached.
+    responses = _connect_lines(
+        address, [json.dumps(REQUESTS[0]), '{"op": "shutdown"}'])
+    assert responses[0]["cached"] is True
+    assert responses[1] == {"op": "shutdown", "ok": True}
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "shutdown op must stop serve_tcp"
+    assert server.served == 2
