@@ -37,9 +37,10 @@ from conftest import curated_cq_pairs, curated_ucq_pairs
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 PARALLEL_WORKERS = 4
 # The semiring spread deliberately skips the tropical pair (T+/T-):
-# their decisions are dominated by the polynomial order checks, which
-# no cache layer covers yet (see ROADMAP), so they only dilute the
-# cache-effect ratios this benchmark pins.
+# their decisions are dominated by the polynomial order checks, whose
+# certificate memo has its own dedicated cold/warm benchmark
+# (bench_tropical_order.py) — mixing them in here would only dilute
+# the structural-cache ratios this benchmark pins.
 SEMIRINGS = ["B", "N", "Lin[X]", "Why[X]", "Trio[X]", "F", "N[X]",
              "Ssur[X]", "PosBool[X]"]
 

@@ -9,7 +9,10 @@ complete descriptions every single time.
 This walkthrough shows the two service-layer answers:
 
 1. a **snapshot** (`repro.service.snapshot`) persists the engine's
-   cache layers between processes, so run N+1 starts where run N ended;
+   cache layers between processes, so run N+1 starts where run N ended
+   — including the tropical `poly_leq` *certificates*, so even the
+   LP-backed `T+`/`T-` verdicts go warm (the report prints their
+   before/after per-verdict cost separately);
 2. a **worker pool** (`repro.service.pool`) shards one run's requests
    across engine processes while keeping the output stream identical
    to the sequential one.
@@ -67,6 +70,25 @@ def audit_workload() -> list[dict]:
     return requests
 
 
+def tropical_workload() -> list[dict]:
+    """The tropical slice: `T+`/`T-` verdicts run the small-model
+    procedure, whose cost is the LP-backed polynomial order checks —
+    historically the one part of the decision surface no cache layer
+    covered.  The engine now memoizes those decisions as revalidated
+    certificates, and the snapshot carries them."""
+    pairs = [
+        ("Q() :- R(u, v), R(u, w)", "Q() :- R(u, v), R(u, v)"),
+        ("Q() :- R(u, v)", "Q() :- R(u, v), R(u, v)"),
+        ("Q() :- R(u, u)", "Q() :- R(u, v)"),
+        ("Q() :- E(x, y), E(y, z)", "Q() :- E(u, v), E(v, u)"),
+    ]
+    requests = [{"semiring": semiring, "q1": q1, "q2": q2}
+                for semiring in ("T+", "T-") for q1, q2 in pairs]
+    for index, request in enumerate(requests):
+        request["id"] = f"tropical-{index}"
+    return requests
+
+
 def timed_run(engine: ContainmentEngine, requests) -> tuple[list, float]:
     start = time.perf_counter()
     documents = [doc.to_dict() for doc in engine.decide_many(requests)]
@@ -75,16 +97,22 @@ def timed_run(engine: ContainmentEngine, requests) -> tuple[list, float]:
 
 def main() -> None:
     requests = audit_workload()
+    tropical = tropical_workload()
     snapshot_path = os.path.join(tempfile.mkdtemp(prefix="repro-warm-"),
                                  "audit.snap")
 
-    print(f"== run 1: cold engine ({len(requests)} decisions)")
+    print(f"== run 1: cold engine ({len(requests)} decisions "
+          f"+ {len(tropical)} tropical)")
     cold_engine = ContainmentEngine()
     cold_docs, cold_seconds = timed_run(cold_engine, requests)
+    cold_tropical, cold_tropical_seconds = timed_run(cold_engine, tropical)
     info = cold_engine.cache_info()
     print(f"   {cold_seconds * 1e3:7.1f} ms — hom searches: "
           f"{info['hom_calls']}, descriptions: "
           f"{info['description_calls']}, parses: {info['parse_calls']}")
+    print(f"   {cold_tropical_seconds * 1e3:7.1f} ms tropical — "
+          f"{info['poly_calls']} LP-backed order decisions "
+          f"({cold_tropical_seconds / len(tropical) * 1e3:.2f} ms/verdict)")
 
     # Persist the *structural* layers (homomorphisms, covered atoms,
     # descriptions, parse interning, classifications).  Leaving the
@@ -101,13 +129,24 @@ def main() -> None:
     warm_engine = ContainmentEngine()   # as if a new CLI invocation
     load_snapshot(warm_engine, snapshot_path)
     warm_docs, warm_seconds = timed_run(warm_engine, requests)
+    warm_tropical, warm_tropical_seconds = timed_run(warm_engine, tropical)
     info = warm_engine.cache_info()
     print(f"   {warm_seconds * 1e3:7.1f} ms — hom searches: "
           f"{info['hom_calls']}, descriptions: "
           f"{info['description_calls']}, parses: {info['parse_calls']}")
+    print(f"   {warm_tropical_seconds * 1e3:7.1f} ms tropical — "
+          f"{info['poly_calls']} LPs run, {info['poly_hits']} certificate "
+          f"recalls ({warm_tropical_seconds / len(tropical) * 1e3:.2f} "
+          f"ms/verdict)")
     assert warm_docs == cold_docs, "warm run must reproduce the cold run"
+    assert warm_tropical == cold_tropical, \
+        "warm tropical verdicts must reproduce the cold ones"
+    assert info["poly_calls"] == 0, \
+        "a warmed run should decide every tropical order from certificates"
     print(f"   identical verdict stream, "
-          f"{cold_seconds / max(warm_seconds, 1e-9):.1f}x faster")
+          f"{cold_seconds / max(warm_seconds, 1e-9):.1f}x faster "
+          f"({cold_tropical_seconds / max(warm_tropical_seconds, 1e-9):.1f}x "
+          f"on the tropical slice)")
 
     print("== run 3: the same workload across 2 worker processes")
     with WorkerPool(2, snapshot_path=snapshot_path) as pool:

@@ -21,7 +21,8 @@ The CLI, the examples and the benchmarks all route through this facade.
 from .batch import (BatchError, error_text, process_lines,
                     requests_from_lines)
 from .documents import ContainmentRequest, VerdictDocument
-from .engine import CachingDecisionContext, ContainmentEngine, EngineStats
+from .engine import (CachingDecisionContext, ContainmentEngine, EngineStats,
+                     stats_report)
 
 __all__ = [
     "BatchError",
@@ -33,4 +34,5 @@ __all__ = [
     "error_text",
     "process_lines",
     "requests_from_lines",
+    "stats_report",
 ]

@@ -7,10 +7,13 @@ benchmarks go through.  One engine owns:
   (a copy of the defaults, so ``register_semiring`` stays local);
 * memoization layers for every expensive primitive of the Table-1
   dispatch — classification per semiring, parsed-query interning per
-  source text, and structural LRUs over homomorphism-search results
+  source text, structural LRUs over homomorphism-search results
   (first mapping and full enumeration, keyed by ``(source, target,
-  HomKind)``), covered-atom sets, and complete descriptions ``⟨Q⟩`` —
-  plus a verdict-level LRU, so repeated checks are near-free;
+  HomKind)``), covered-atom sets, and complete descriptions ``⟨Q⟩``,
+  and a certificate memo for the LP-backed tropical polynomial orders
+  (keyed by ``(order kind, canonical admissible pair)``, revalidated
+  on every recall) — plus a verdict-level LRU, so repeated checks are
+  near-free;
 * the document types of :mod:`repro.api.documents` for JSON-clean
   input/output, including the streaming batch entry points.
 
@@ -22,7 +25,11 @@ single cold verdict reuses work across its own sub-conditions.
 Registering (or replacing) a semiring bumps the registry's version;
 the engine detects the bump and drops its semiring-dependent caches
 (classification, verdicts).  The structural caches — homomorphisms,
-covered atoms, descriptions — only mention queries and survive.
+covered atoms, descriptions, polynomial-order certificates — only
+mention queries and polynomials and survive.
+
+``docs/ARCHITECTURE.md`` documents every cache layer (key shape,
+eviction, snapshot behavior) and the invariants a new layer must keep.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ from ..core.containment import (decide_cq_containment,
                                 decide_ucq_containment, k_equivalent)
 from ..core.context import DecisionContext
 from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
+from ..polynomials.admissible import canonical_pair
+from ..polynomials.tropical_order import certificate_valid, decide_poly_leq
 from ..queries.ccq import complete_description_ucq
 from ..queries.cq import CQ
 from ..queries.parser import parse_cq
@@ -43,8 +52,16 @@ from ..semirings.base import Semiring
 from ..semirings.registry import DEFAULT_REGISTRY, SemiringRegistry
 from .documents import ContainmentRequest, VerdictDocument, _coerce_query
 
-__all__ = ["CachingDecisionContext", "ContainmentEngine", "EngineStats"]
+__all__ = ["CachingDecisionContext", "ContainmentEngine", "EngineStats",
+           "stats_report"]
 
+#: The cache-miss sentinel.  Every ``_LRU`` lookup in this module goes
+#: through ``get(key, _MISSING)`` and compares with ``is`` — never a
+#: truthiness or ``None`` test — because ``None`` is a perfectly valid
+#: cached *value* (a failed homomorphism search caches ``None``, and
+#: that negative answer is exactly what makes repeats cheap).  Any new
+#: cache layer must follow the same contract: reserve ``_MISSING`` for
+#: "absent", store whatever the primitive returned, ``None`` included.
 _MISSING = object()
 
 
@@ -70,10 +87,57 @@ class EngineStats:
     cover_hits: int = 0
     description_calls: int = 0
     description_hits: int = 0
+    poly_calls: int = 0
+    poly_hits: int = 0
+    poly_rejected: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (for logs and reports)."""
         return dict(vars(self))
+
+
+#: ``layer name → (hits counter, calls counter, entries counter)`` —
+#: the schema :func:`stats_report` reads out of a ``cache_info()`` dict.
+_LAYER_COUNTERS = (
+    ("classifications", "classify_hits", "classify_calls",
+     "classification_entries"),
+    ("parsed", "parse_hits", "parse_calls", "parsed_entries"),
+    ("homs", "hom_hits", "hom_calls", "hom_entries"),
+    ("hom_enums", "hom_enum_hits", "hom_enum_calls", "hom_enum_entries"),
+    ("covered", "cover_hits", "cover_calls", "cover_entries"),
+    ("descriptions", "description_hits", "description_calls",
+     "description_entries"),
+    ("poly_orders", "poly_hits", "poly_calls", "poly_entries"),
+)
+
+
+def stats_report(info: Mapping[str, int]) -> dict:
+    """A per-layer hit-ratio report from flat ``cache_info()`` counters.
+
+    Works on a single engine's counters or on the summed counters of a
+    worker pool (:meth:`repro.service.pool.WorkerPool.aggregate_stats`).
+    Every layer reports ``hits``/``calls``/``entries`` plus a
+    ``hit_ratio`` that is ``None`` — never a ``ZeroDivisionError`` —
+    for layers that saw no traffic; the ``poly_orders`` layer
+    additionally reports how many recalled certificates failed
+    revalidation (``rejected``) and were recomputed.
+    """
+    def layer(hits: int, calls: int, entries: int) -> dict:
+        total = hits + calls
+        return {"hits": hits, "calls": calls, "entries": entries,
+                "hit_ratio": (hits / total) if total else None}
+
+    layers = {
+        name: layer(info.get(hits_key, 0), info.get(calls_key, 0),
+                    info.get(entries_key, 0))
+        for name, hits_key, calls_key, entries_key in _LAYER_COUNTERS
+    }
+    layers["poly_orders"]["rejected"] = info.get("poly_rejected", 0)
+    decisions = info.get("decisions", 0)
+    verdict_hits = info.get("verdict_hits", 0)
+    layers["verdicts"] = layer(verdict_hits, decisions - verdict_hits,
+                               info.get("verdict_entries", 0))
+    return {"decisions": decisions, "layers": layers}
 
 
 class _LRU:
@@ -97,6 +161,10 @@ class _LRU:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def pop(self, key) -> None:
+        """Drop one entry if present (used to evict invalidated values)."""
+        self._data.pop(key, None)
+
     def clear(self) -> None:
         """Drop every entry."""
         self._data.clear()
@@ -114,9 +182,10 @@ class CachingDecisionContext(DecisionContext):
 
     Every primitive of the widened context contract — classification,
     homomorphism existence and enumeration, covered atoms, covering,
-    and complete descriptions — recalls the owning engine's LRUs, so
-    the covering/UCQ/bounds code paths share work with the top-level
-    dispatch (and with each other) instead of recomputing searches.
+    complete descriptions, and the polynomial order ``poly_leq`` —
+    recalls the owning engine's LRUs, so the covering/UCQ/small-model/
+    bounds code paths share work with the top-level dispatch (and with
+    each other) instead of recomputing searches.
     """
 
     def __init__(self, engine: "ContainmentEngine"):
@@ -143,6 +212,10 @@ class CachingDecisionContext(DecisionContext):
         """Complete descriptions ``⟨Q⟩`` via the engine's LRU."""
         return self._engine.complete_description(union)
 
+    def poly_leq(self, semiring, p1, p2) -> bool:
+        """Polynomial-order decisions via the engine's certificate memo."""
+        return self._engine.poly_leq(semiring, p1, p2)
+
 
 class ContainmentEngine:
     """Cached facade over the Table-1 containment decision procedures.
@@ -164,7 +237,8 @@ class ContainmentEngine:
                  hom_cache_size: int = 65536,
                  verdict_cache_size: int = 16384,
                  cover_cache_size: int = 65536,
-                 description_cache_size: int = 8192):
+                 description_cache_size: int = 8192,
+                 poly_cache_size: int = 65536):
         self.registry = (registry if registry is not None
                          else DEFAULT_REGISTRY.copy())
         self.stats = EngineStats()
@@ -174,6 +248,7 @@ class ContainmentEngine:
         self._hom_enums = _LRU(hom_cache_size)
         self._covered = _LRU(cover_cache_size)
         self._descriptions = _LRU(description_cache_size)
+        self._poly_orders = _LRU(poly_cache_size)
         self._verdicts = _LRU(verdict_cache_size)
         self._context = CachingDecisionContext(self)
         self._registry_version = self.registry.version
@@ -337,6 +412,48 @@ class ContainmentEngine:
         self._descriptions.put(union, result)
         return result
 
+    def poly_leq(self, semiring, p1, p2) -> bool:
+        """Certificate-memoized polynomial-order decision (Prop. 4.19).
+
+        Semirings that declare a tropical ``poly_order`` kind (``T+``,
+        ``T−``, Viterbi) are decided through an LRU of
+        :class:`~repro.polynomials.tropical_order.TropicalOrderCertificate`
+        values keyed by ``(kind, canonical pair)`` — the canonical form
+        of :func:`repro.polynomials.admissible.canonical_pair`, so
+        renamings of one admissible pair (and semirings sharing a kind,
+        like ``T+`` and ``V``) share one entry, and no semiring
+        *instance* ever enters a key (the layer snapshots cleanly).
+
+        A recalled certificate is **revalidated, not trusted**: its
+        witness arithmetic is re-checked against the live pair
+        (integer evaluation for a violating point, Farkas inequalities
+        for dominance — never an LP).  Valid recalls count as
+        ``poly_hits``; an invalid (tampered/stale/mis-keyed) recall
+        counts as ``poly_rejected``, is evicted, and the decision is
+        recomputed — so a warmed run's answers are byte-identical to a
+        cold run's no matter what the snapshot contained.
+
+        Semirings without a tropical kind (finite/lattice orders, which
+        are already cheap exhaustive checks) pass through uncached.
+        """
+        kind = getattr(semiring, "poly_order", None)
+        if kind is None:
+            return semiring.poly_leq(p1, p2)
+        c1, c2, _ = canonical_pair(p1, p2)
+        key = (kind, c1, c2)
+        certificate = self._poly_orders.get(key, _MISSING)
+        if certificate is not _MISSING:
+            if certificate_valid(certificate, kind, c1, c2):
+                self.stats.poly_hits += 1
+                return certificate.holds
+            self.stats.poly_rejected += 1
+            self._poly_orders.pop(key)
+        self.stats.poly_calls += 1
+        holds, certificate = decide_poly_leq(kind, c1, c2)
+        if certificate is not None:
+            self._poly_orders.put(key, certificate)
+        return holds
+
     # -- deciding -------------------------------------------------------
 
     def decide(self, q1, q2, semiring: str | Semiring, *,
@@ -400,7 +517,8 @@ class ContainmentEngine:
     # -- introspection --------------------------------------------------
 
     def cache_info(self) -> dict[str, int]:
-        """Current cache sizes plus the stat counters."""
+        """Current cache sizes plus the stat counters (flat integers —
+        summable across workers; see :func:`stats_report` for ratios)."""
         info = self.stats.as_dict()
         info.update(
             classification_entries=len(self._classifications),
@@ -409,9 +527,19 @@ class ContainmentEngine:
             hom_enum_entries=len(self._hom_enums),
             cover_entries=len(self._covered),
             description_entries=len(self._descriptions),
+            poly_entries=len(self._poly_orders),
             verdict_entries=len(self._verdicts),
         )
         return info
+
+    def cache_stats(self) -> dict:
+        """Per-layer cache report with zero-division-safe hit ratios.
+
+        Every layer — the poly_leq certificate memo included — reports
+        ``hits``/``calls``/``entries`` and a ``hit_ratio`` that is
+        ``None`` for layers with no traffic; see :func:`stats_report`.
+        """
+        return stats_report(self.cache_info())
 
     def clear_caches(self) -> None:
         """Drop every cache layer (stats counters are kept)."""
@@ -421,6 +549,7 @@ class ContainmentEngine:
         self._hom_enums.clear()
         self._covered.clear()
         self._descriptions.clear()
+        self._poly_orders.clear()
         self._verdicts.clear()
 
     # -- snapshot hooks --------------------------------------------------
@@ -432,13 +561,19 @@ class ContainmentEngine:
         and verdict layers are re-keyed by canonical registry name, and
         entries for semirings passed directly as unregistered instances
         are dropped (a name is the only identity that survives a
-        process boundary).  Entry lists keep LRU order (least recently
-        used first), so importing into a same-sized engine reproduces
-        the recency order.  ``include_verdicts=False`` exports only the
-        semiring-independent structural layers plus classifications —
-        the right payload when restored runs must produce verdict
-        documents byte-identical to cold runs (a restored verdict layer
-        answers with ``cached: true``).
+        process boundary).  The poly_leq layer needs no such re-keying
+        — its keys are ``(order kind, canonical polynomial pair)`` and
+        its values are self-certifying
+        :class:`~repro.polynomials.tropical_order.TropicalOrderCertificate`
+        records, revalidated on recall, so even a maliciously edited
+        snapshot cannot change an answer.  Entry lists keep LRU order
+        (least recently used first), so importing into a same-sized
+        engine reproduces the recency order.
+        ``include_verdicts=False`` exports only the semiring-independent
+        structural layers plus classifications — the right payload when
+        restored runs must produce verdict documents byte-identical to
+        cold runs (a restored verdict layer answers with
+        ``cached: true``).
         """
         names = {id(semiring): semiring.name for semiring in self.registry}
         verdicts = []
@@ -459,6 +594,7 @@ class ContainmentEngine:
             "hom_enums": self._hom_enums.items(),
             "covered": self._covered.items(),
             "descriptions": self._descriptions.items(),
+            "poly_orders": self._poly_orders.items(),
             "verdicts": verdicts,
         }
 
@@ -486,7 +622,8 @@ class ContainmentEngine:
                            ("homs", self._homs),
                            ("hom_enums", self._hom_enums),
                            ("covered", self._covered),
-                           ("descriptions", self._descriptions)):
+                           ("descriptions", self._descriptions),
+                           ("poly_orders", self._poly_orders)):
             restored = 0
             for key, value in state.get(layer, ()):
                 lru.put(key, value)

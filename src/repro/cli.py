@@ -204,7 +204,8 @@ def _cmd_batch(args) -> int:
                 stats = engine.stats
                 computed = (stats.parse_calls + stats.classify_calls
                             + stats.hom_calls + stats.hom_enum_calls
-                            + stats.cover_calls + stats.description_calls)
+                            + stats.cover_calls + stats.description_calls
+                            + stats.poly_calls)
                 if args.snapshot_verdicts:
                     computed += stats.decisions - stats.verdict_hits
                 if computed or not os.path.exists(args.snapshot):

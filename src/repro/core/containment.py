@@ -169,7 +169,7 @@ def decide_ucq_containment(q1, q2, semiring, *,
                        explanation=f"{semiring.name} ∈ C∞bi (Prop. 5.10 / "
                                    "Prop. 5.9)")
     if cls.small_model:
-        holds = small_model_contained(q1, q2, semiring)
+        holds = small_model_contained(q1, q2, semiring, context=ctx)
         return Verdict(holds, "small-model",
                        explanation=f"{semiring.name}: canonical-instance "
                                    "polynomial comparison (Thm. 4.17)")

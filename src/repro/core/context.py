@@ -89,6 +89,18 @@ class DecisionContext:
         function of the union."""
         return _cached_description(union)
 
+    def poly_leq(self, semiring, p1, p2) -> bool:
+        """Decide the polynomial order ``P1 ≼K P2`` (Prop. 4.19).
+
+        The small-model procedure (Thm. 4.17) issues every one of its
+        canonical-instance comparisons through this hook, so an engine
+        can memoize the LP-backed tropical decisions (as revalidated
+        certificates keyed by canonical pair) — the last cold spot of
+        the Table-1 surface.  The default delegates to
+        :meth:`repro.semirings.base.Semiring.poly_leq` unchanged.
+        """
+        return semiring.poly_leq(p1, p2)
+
 
 #: Shared stateless default used when no context is supplied.
 DEFAULT_CONTEXT = DecisionContext()

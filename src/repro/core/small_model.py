@@ -45,23 +45,28 @@ def small_model_tests(q1) -> Iterator[tuple[CQWithInequalities, tuple]]:
                 yield ccq, target
 
 
-def small_model_contained(q1, q2, semiring) -> bool:
+def small_model_contained(q1, q2, semiring, *, context=None) -> bool:
     """Decide ``Q1 ⊆K Q2`` via canonical-instance polynomial comparison.
 
     Requires ``semiring`` to be ⊕-idempotent and to implement
-    ``poly_leq`` (Thm. 4.17 / Cor. 4.18).
+    ``poly_leq`` (Thm. 4.17 / Cor. 4.18).  Every polynomial comparison
+    is routed through ``context.poly_leq`` (default:
+    :data:`repro.core.context.DEFAULT_CONTEXT`), so engines can
+    memoize the LP-backed order decisions per admissible pair.
     """
     from ..semirings.provenance import NX
+    from .context import DEFAULT_CONTEXT
 
     if not semiring.properties.add_idempotent:
         raise ValueError(
             f"the small-model procedure needs an ⊕-idempotent semiring; "
             f"{semiring.name} is not (Thm. 4.17 applies to S¹ only)")
+    ctx = context if context is not None else DEFAULT_CONTEXT
     q1, q2 = as_ucq(q1), as_ucq(q2)
     for ccq, target in small_model_tests(q1):
         tagged = canonical_instance(ccq)
         left = evaluate(q1, tagged.instance, target, NX)
         right = evaluate(q2, tagged.instance, target, NX)
-        if not semiring.poly_leq(left, right):
+        if not ctx.poly_leq(semiring, left, right):
             return False
     return True

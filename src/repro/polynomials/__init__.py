@@ -1,14 +1,19 @@
 """Provenance polynomials, CQ-admissibility and tropical orders."""
 
-from .admissible import (distinct_orderings, is_cq_admissible, realize,
-                         representations, zigzag_closed)
+from .admissible import (canonical_pair, distinct_orderings,
+                         is_cq_admissible, realize, representations,
+                         zigzag_closed)
 from .polynomial import (Monomial, Polynomial, polynomial_product,
                          polynomial_sum)
-from .tropical_order import (grid_violation, max_plus_poly_leq,
+from .tropical_order import (MAX_PLUS, MIN_PLUS, TropicalOrderCertificate,
+                             certificate_valid, decide_poly_leq,
+                             grid_violation, max_plus_poly_leq,
                              min_plus_poly_leq)
 
 __all__ = [
-    "Monomial", "Polynomial", "distinct_orderings", "grid_violation",
+    "MAX_PLUS", "MIN_PLUS", "Monomial", "Polynomial",
+    "TropicalOrderCertificate", "canonical_pair", "certificate_valid",
+    "decide_poly_leq", "distinct_orderings", "grid_violation",
     "is_cq_admissible", "max_plus_poly_leq", "min_plus_poly_leq",
     "polynomial_product", "polynomial_sum", "realize", "representations",
     "zigzag_closed",

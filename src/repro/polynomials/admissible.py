@@ -35,7 +35,59 @@ __all__ = [
     "zigzag_closed",
     "representations",
     "is_cq_admissible",
+    "canonical_pair",
 ]
+
+
+def _variable_signature(var: str, polys: tuple[Polynomial, ...]) -> tuple:
+    """A renaming-invariant fingerprint of how ``var`` occurs in ``polys``.
+
+    Two variables related by a pair automorphism get equal signatures, so
+    sorting by ``(signature, name)`` yields a relabeling that is stable
+    under any occurrence-preserving renaming and deterministic otherwise.
+    """
+    return tuple(
+        tuple(sorted(
+            (mono.degree(), mono.exponent(var), coeff)
+            for mono, coeff in poly.items()
+        ))
+        for poly in polys
+    )
+
+
+def canonical_pair(
+        p1: Polynomial, p2: Polynomial
+) -> tuple[Polynomial, Polynomial, dict[str, str]]:
+    """Canonicalize an admissible pair up to variable renaming.
+
+    Returns ``(c1, c2, renaming)`` where ``renaming`` maps the original
+    variables onto ``v0, v1, ...`` and ``ci`` is ``pi`` rewritten through
+    it.  The relabeling is a *bijection*, so every property invariant
+    under variable renaming — in particular the tropical polynomial
+    orders of Prop. 4.19 — gives the same answer on ``(c1, c2)`` as on
+    ``(p1, p2)``.  That makes ``(c1, c2)`` a sound memoization key for
+    ``poly_leq`` decisions: the canonical pairs of two admissible pairs
+    coincide only if the pairs are renamings of each other.
+
+    Variables are ordered by an occurrence signature (degree/exponent/
+    coefficient profile per side) with the original name as tiebreak, so
+    pairs produced from differently-tagged canonical instances of the
+    same CCQ collapse onto one key.
+    """
+    polys = (p1, p2)
+    variables = sorted(p1.variables() | p2.variables())
+    ordered = sorted(variables,
+                     key=lambda var: (_variable_signature(var, polys), var))
+    renaming = {var: f"v{index}" for index, var in enumerate(ordered)}
+
+    def rewrite(poly: Polynomial) -> Polynomial:
+        return Polynomial(
+            (Monomial(tuple((renaming[var], exp)
+                            for var, exp in mono.powers)), coeff)
+            for mono, coeff in poly.items()
+        )
+
+    return rewrite(p1), rewrite(p2), renaming
 
 
 def distinct_orderings(mono: Monomial) -> tuple[tuple[str, ...], ...]:

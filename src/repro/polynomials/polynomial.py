@@ -144,6 +144,14 @@ class Monomial:
     def __mul__(self, other: "Monomial") -> "Monomial":
         return self.mul(other)
 
+    def __reduce__(self):
+        # Rebuild through the constructor: ``_hash`` caches a
+        # string-tuple hash, which is salted per process — restoring it
+        # from a pickle (e.g. a tropical certificate in a warm-start
+        # snapshot) would make equal monomials hash apart and silently
+        # miss every cache lookup in the restoring process.
+        return (Monomial, (self._powers,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Monomial) and self._powers == other._powers
 
@@ -345,6 +353,11 @@ class Polynomial:
 
     def __mul__(self, other: "Polynomial") -> "Polynomial":
         return self.mul(other)
+
+    def __reduce__(self):
+        # Same contract as :meth:`Monomial.__reduce__`: recompute the
+        # per-process hash instead of pickling a stale one.
+        return (Polynomial, (self._coeffs,))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Polynomial) and self._coeffs == other._coeffs

@@ -118,6 +118,16 @@ class Semiring(ABC):
     #: Classification facts; see :class:`SemiringProperties`.
     properties: SemiringProperties = SemiringProperties()
 
+    #: For semirings whose :meth:`poly_leq` reduces to one of the two
+    #: tropical linear-form orders, the order's kind —
+    #: :data:`repro.polynomials.tropical_order.MIN_PLUS` (``T+``,
+    #: Viterbi) or :data:`~repro.polynomials.tropical_order.MAX_PLUS`
+    #: (``T−``).  ``None`` everywhere else.  Engines use this to
+    #: certificate-memoize the order decisions: semirings sharing a
+    #: kind share one cache keyed by canonical polynomial pair, never
+    #: by semiring instance, so the entries survive process boundaries.
+    poly_order: str | None = None
+
     # ------------------------------------------------------------------
     # The algebra
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ class TropicalMinPlusSemiring(Semiring):
     """``T+``: min-plus over ``N0 ∪ {∞}`` (cost semantics)."""
 
     name = "T+"
+    poly_order = "min-plus"
     properties = SemiringProperties(
         one_annihilating=True,
         add_idempotent=True,
@@ -63,6 +64,8 @@ class TropicalMinPlusSemiring(Semiring):
         return rng.choice((math.inf, 0, 0, 1, 1, 2, 3, 5))
 
     def poly_leq(self, p1, p2) -> bool:
+        """The plain (uncached) LP decision; engines route this call
+        through their certificate memo via ``poly_order``."""
         from ..polynomials.tropical_order import min_plus_poly_leq
         return min_plus_poly_leq(p1, p2)
 
@@ -71,6 +74,7 @@ class TropicalMaxPlusSemiring(Semiring):
     """``T−``: max-plus over ``N0 ∪ {−∞}`` (schedule algebra)."""
 
     name = "T-"
+    poly_order = "max-plus"
     properties = SemiringProperties(
         add_idempotent=True,
         mul_semi_idempotent=True,
@@ -105,6 +109,8 @@ class TropicalMaxPlusSemiring(Semiring):
         return rng.choice((-math.inf, 0, 0, 1, 1, 2, 3, 5))
 
     def poly_leq(self, p1, p2) -> bool:
+        """The plain (uncached) LP decision; engines route this call
+        through their certificate memo via ``poly_order``."""
         from ..polynomials.tropical_order import max_plus_poly_leq
         return max_plus_poly_leq(p1, p2)
 

@@ -29,6 +29,7 @@ class ViterbiSemiring(Semiring):
     """``V``: best-derivation confidence scores."""
 
     name = "V"
+    poly_order = "min-plus"
     properties = SemiringProperties(
         one_annihilating=True,
         add_idempotent=True,

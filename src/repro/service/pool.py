@@ -10,7 +10,8 @@ with a *deterministic* digest of the parsed-query/semiring key, so:
   the same worker and therefore share that worker's verdict LRU — a
   repeat is a ``cached: true`` hit exactly as in a sequential engine;
 * structurally similar requests cluster, so the per-worker structural
-  LRUs (hom search/enumeration, covered atoms, descriptions) stay hot;
+  LRUs (hom search/enumeration, covered atoms, descriptions, tropical
+  poly_leq certificates) stay hot;
 * the assignment is reproducible across runs (the digest does not
   depend on ``PYTHONHASHSEED``).
 
@@ -44,7 +45,22 @@ from ..api.engine import ContainmentEngine
 from ..queries.parser import ParseError
 from .snapshot import SnapshotError, load_snapshot, merge_states
 
-__all__ = ["DecisionError", "WorkerPool", "shard_key"]
+__all__ = ["DecisionError", "WorkerPool", "shard_key", "sum_stats"]
+
+
+def sum_stats(infos: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum per-worker ``cache_info()`` counter dicts into one.
+
+    The single aggregation rule for worker stats — used by
+    :meth:`WorkerPool.aggregate_stats` and by the server's ``stats``
+    op (which already holds the per-worker list and must not trigger a
+    second broadcast).
+    """
+    totals: dict[str, int] = {}
+    for info in infos:
+        for key, value in info.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 #: Exceptions a decision may raise that are *request* problems, not
 #: pool problems — converted to in-band errors.
@@ -413,11 +429,7 @@ class WorkerPool:
 
     def aggregate_stats(self) -> dict[str, int]:
         """The per-worker stats summed into one counters dict."""
-        totals: dict[str, int] = {}
-        for info in self.stats():
-            for key, value in info.items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        return sum_stats(self.stats())
 
     def collect_caches(self, *, include_verdicts: bool | None = None) -> dict:
         """The merged cache state of every worker (snapshot payload)."""

@@ -24,7 +24,10 @@ A *control* request is an object with an ``"op"`` key:
 ``{"op": "ping"}``
     liveness probe; answers ``{"op": "ping", "ok": true}``.
 ``{"op": "stats"}``
-    engine ``cache_info()`` (or the per-worker list for a pool).
+    engine ``cache_info()`` plus a layered ``cache_stats`` report —
+    every cache layer (poly_leq certificates included) with
+    zero-division-safe hit ratios; pools answer with the per-worker
+    counter list and the report over their sum.
 ``{"op": "snapshot"}``
     flush the warm-start snapshot now; answers the per-layer counts.
 ``{"op": "shutdown"}``
@@ -215,13 +218,22 @@ class DecisionServer:
         if op == "ping":
             return {"op": "ping", "ok": True}, False
         if op == "stats":
+            from ..api.engine import stats_report
+            from .pool import sum_stats
+
             response: dict = {"op": "stats", "served": self._served,
                               "errors": self._errors}
             if self._pool is not None:
-                response["workers"] = self._pool.stats()
+                # Per-worker flat counters plus one layered report over
+                # their sum — hit ratios stay zero-division-safe even
+                # for layers (e.g. poly_orders) that saw no traffic.
+                workers = self._pool.stats()
+                response["workers"] = workers
+                response["cache_stats"] = stats_report(sum_stats(workers))
             else:
                 with self._decide_lock:
                     response["cache_info"] = self._engine.cache_info()
+                    response["cache_stats"] = self._engine.cache_stats()
             return response, False
         if op == "snapshot":
             try:

@@ -3,23 +3,44 @@
 Short-lived ``python -m repro batch`` invocations — and worker
 processes of :class:`repro.service.pool.WorkerPool` — start with cold
 caches, re-paying for parse interning, classification, homomorphism
-searches, covered-atom sets and complete descriptions that a previous
-run already computed.  A *snapshot* persists those layers to disk so
-the next run starts warm.
+searches, covered-atom sets, complete descriptions and LP-backed
+tropical order certificates that a previous run already computed.  A
+*snapshot* persists those layers to disk so the next run starts warm.
 
 Format
 ------
-A snapshot file is a pickled envelope::
+A snapshot file is a pickled envelope with four fields::
 
     {"magic": "repro.engine-snapshot", "version": 1,
      "semirings": [...canonical names...], "caches": {layer: [...]}}
 
-``caches`` is exactly the payload of
-:meth:`repro.api.ContainmentEngine.export_caches`: per-layer
-``(key, value)`` lists whose keys never contain semiring *instances*
-(classifications and verdicts are re-keyed by canonical registry
-name).  Validation is strict and failure is always *graceful*: every
-way a file can disappoint — missing, truncated, corrupted, a different
+``magic``
+    The literal :data:`SNAPSHOT_MAGIC` string — rejects arbitrary
+    pickles (and accidental non-snapshot files) before anything else
+    is looked at.
+``version``
+    The envelope schema version, :data:`SNAPSHOT_VERSION`.  A reader
+    accepts exactly its own version; anything else is *stale* (or from
+    the future) and rejected wholesale.  New cache layers do **not**
+    bump the version: unknown layers are ignored on import and absent
+    layers default to empty, so snapshots interoperate across adjacent
+    builds.
+``semirings``
+    The canonical names registered on the exporting engine —
+    informational (debugging which registry produced a file); import
+    resolves names against the *restoring* registry and skips unknowns.
+``caches``
+    Exactly the payload of
+    :meth:`repro.api.ContainmentEngine.export_caches`: per-layer
+    ``(key, value)`` lists whose keys never contain semiring
+    *instances* (classifications and verdicts are re-keyed by
+    canonical registry name; the ``poly_orders`` layer is keyed by
+    ``(order kind, canonical polynomial pair)`` and its certificate
+    values are revalidated on every recall, so a doctored entry can
+    never change an answer).
+
+Validation is strict and failure is always *graceful*: every way a
+file can disappoint — missing, truncated, corrupted, a different
 pickle, an envelope from a future format version — raises
 :class:`SnapshotError`, which warm-start callers catch to fall back to
 a cold start.  A stale snapshot must never crash a batch run, and an
@@ -51,7 +72,7 @@ SNAPSHOT_VERSION = 1
 
 #: The cache layers a snapshot may carry, in import order.
 _LAYERS = ("classifications", "parsed", "homs", "hom_enums", "covered",
-           "descriptions", "verdicts")
+           "descriptions", "poly_orders", "verdicts")
 
 
 class SnapshotError(ValueError):
