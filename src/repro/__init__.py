@@ -36,10 +36,13 @@ from .core import (Classification, Undecided, Verdict, classify,
                    decide_cq_containment, decide_ucq_containment, explain,
                    k_equivalent, small_model_contained)
 from .data import CanonicalInstance, Instance, canonical_instance
-from .homomorphisms import (HomKind, are_isomorphic, automorphism_count,
-                            bi_count_infty, bi_count_k, covering_2,
-                            covering_union, covers, find_homomorphism,
+from .homomorphisms import (CanonicalForm, HomKind, are_isomorphic,
+                            automorphism_count, bi_count_infty, bi_count_k,
+                            canonical_form, canonical_key, canonical_rename,
+                            covering_2, covering_union, covers,
+                            endomorphisms, find_homomorphism,
                             has_homomorphism, homomorphisms,
+                            is_automorphism, isomorphism_classes,
                             local_condition, sur_infty)
 from .polynomials import (Monomial, Polynomial, is_cq_admissible,
                           max_plus_poly_leq, min_plus_poly_leq)
@@ -59,8 +62,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ACCESS", "ALL_SEMIRINGS", "Atom", "B", "BX", "CQ",
-    "CQWithInequalities", "CanonicalInstance", "Classification",
-    "ContainmentEngine", "ContainmentRequest",
+    "CQWithInequalities", "CanonicalForm", "CanonicalInstance",
+    "Classification", "ContainmentEngine", "ContainmentRequest",
     "Counterexample", "DEFAULT_REGISTRY", "EVENTS", "EngineStats",
     "FUZZY", "HomKind", "Instance", "LIN",
     "LUKASIEWICZ", "Monomial", "N", "N2X", "N2_SATURATING", "N3X",
@@ -70,12 +73,14 @@ __all__ = [
     "Undecided", "VITERBI", "Var", "Verdict", "VerdictDocument", "WHY",
     "are_isomorphic",
     "as_ucq", "automorphism_count", "bi_count_infty", "bi_count_k",
-    "canonical_instance", "classify", "complete_description",
+    "canonical_form", "canonical_instance", "canonical_key",
+    "canonical_rename", "classify", "complete_description",
     "complete_description_ucq", "covering_2", "covering_union", "covers",
-    "decide_cq_containment", "decide_ucq_containment", "evaluate",
-    "evaluate_all", "find_counterexample", "find_homomorphism",
+    "decide_cq_containment", "decide_ucq_containment", "endomorphisms",
+    "evaluate", "evaluate_all", "find_counterexample", "find_homomorphism",
     "get_semiring", "has_homomorphism", "homomorphisms",
-    "is_cq_admissible", "k_equivalent", "local_condition",
+    "is_automorphism", "is_cq_admissible", "isomorphism_classes",
+    "k_equivalent", "local_condition",
     "max_plus_poly_leq", "min_plus_poly_leq", "parse_cq", "parse_ucq",
     "refutes", "small_model_contained", "sur_infty", "valuations",
     "RewriteCheck", "check_rewrite", "explain", "table",

@@ -9,7 +9,9 @@ benchmarks go through.  One engine owns:
   dispatch — classification per semiring, parsed-query interning per
   source text, structural LRUs over homomorphism-search results
   (first mapping and full enumeration, keyed by ``(source, target,
-  HomKind)``), covered-atom sets, and complete descriptions ``⟨Q⟩``,
+  HomKind)``), covered-atom sets, complete descriptions ``⟨Q⟩``, and
+  canonical labeling records (isomorphism key + capture-free renaming +
+  automorphism group size per CCQ, keyed by the query),
   and a certificate memo for the LP-backed tropical polynomial orders
   (keyed by ``(order kind, canonical admissible pair)``, revalidated
   on every recall) — plus a verdict-level LRU, so repeated checks are
@@ -25,7 +27,7 @@ single cold verdict reuses work across its own sub-conditions.
 Registering (or replacing) a semiring bumps the registry's version;
 the engine detects the bump and drops its semiring-dependent caches
 (classification, verdicts).  The structural caches — homomorphisms,
-covered atoms, descriptions, polynomial-order certificates — only
+covered atoms, descriptions, canonical forms, polynomial-order certificates — only
 mention queries and polynomials and survive.
 
 ``docs/ARCHITECTURE.md`` documents every cache layer (key shape,
@@ -42,6 +44,7 @@ from ..core.classes import Classification, classify
 from ..core.containment import (decide_cq_containment,
                                 decide_ucq_containment, k_equivalent)
 from ..core.context import DecisionContext
+from ..homomorphisms.canonical import CanonicalForm, compute_canonical_form
 from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
 from ..polynomials.admissible import canonical_pair
 from ..polynomials.tropical_order import certificate_valid, decide_poly_leq
@@ -87,6 +90,8 @@ class EngineStats:
     cover_hits: int = 0
     description_calls: int = 0
     description_hits: int = 0
+    canon_calls: int = 0
+    canon_hits: int = 0
     poly_calls: int = 0
     poly_hits: int = 0
     poly_rejected: int = 0
@@ -107,6 +112,7 @@ _LAYER_COUNTERS = (
     ("covered", "cover_hits", "cover_calls", "cover_entries"),
     ("descriptions", "description_hits", "description_calls",
      "description_entries"),
+    ("canonical", "canon_hits", "canon_calls", "canon_entries"),
     ("poly_orders", "poly_hits", "poly_calls", "poly_entries"),
 )
 
@@ -212,6 +218,10 @@ class CachingDecisionContext(DecisionContext):
         """Complete descriptions ``⟨Q⟩`` via the engine's LRU."""
         return self._engine.complete_description(union)
 
+    def canonical_form(self, query) -> CanonicalForm:
+        """Canonical labeling records via the engine's LRU."""
+        return self._engine.canonical_form(query)
+
     def poly_leq(self, semiring, p1, p2) -> bool:
         """Polynomial-order decisions via the engine's certificate memo."""
         return self._engine.poly_leq(semiring, p1, p2)
@@ -238,6 +248,7 @@ class ContainmentEngine:
                  verdict_cache_size: int = 16384,
                  cover_cache_size: int = 65536,
                  description_cache_size: int = 8192,
+                 canon_cache_size: int = 65536,
                  poly_cache_size: int = 65536):
         self.registry = (registry if registry is not None
                          else DEFAULT_REGISTRY.copy())
@@ -248,6 +259,7 @@ class ContainmentEngine:
         self._hom_enums = _LRU(hom_cache_size)
         self._covered = _LRU(cover_cache_size)
         self._descriptions = _LRU(description_cache_size)
+        self._canon = _LRU(canon_cache_size)
         self._poly_orders = _LRU(poly_cache_size)
         self._verdicts = _LRU(verdict_cache_size)
         self._context = CachingDecisionContext(self)
@@ -268,7 +280,7 @@ class ContainmentEngine:
 
         Invalidates the semiring-dependent caches (classification and
         verdicts); the structural caches (homomorphisms, covered atoms,
-        descriptions) survive.
+        descriptions, canonical forms) survive.
         """
         self.registry.register(semiring, aliases=aliases, replace=replace)
         self._sync()
@@ -412,6 +424,26 @@ class ContainmentEngine:
         self._descriptions.put(union, result)
         return result
 
+    def canonical_form(self, query) -> CanonicalForm:
+        """LRU-cached canonical labeling record of a (C)CQ.
+
+        One refinement-based pass yields the isomorphism key, the
+        capture-free canonical renaming and the automorphism group
+        size (:func:`repro.homomorphisms.canonical.compute_canonical_form`)
+        — the per-CCQ primitives behind the ``→֒k``/``→֒∞`` counting
+        and ``⇉2`` conditions.  Keys mention only the (immutable)
+        query, so the layer survives registry changes and snapshots
+        as-is.
+        """
+        hit = self._canon.get(query, _MISSING)
+        if hit is not _MISSING:
+            self.stats.canon_hits += 1
+            return hit
+        self.stats.canon_calls += 1
+        result = compute_canonical_form(query)
+        self._canon.put(query, result)
+        return result
+
     def poly_leq(self, semiring, p1, p2) -> bool:
         """Certificate-memoized polynomial-order decision (Prop. 4.19).
 
@@ -527,6 +559,7 @@ class ContainmentEngine:
             hom_enum_entries=len(self._hom_enums),
             cover_entries=len(self._covered),
             description_entries=len(self._descriptions),
+            canon_entries=len(self._canon),
             poly_entries=len(self._poly_orders),
             verdict_entries=len(self._verdicts),
         )
@@ -549,6 +582,7 @@ class ContainmentEngine:
         self._hom_enums.clear()
         self._covered.clear()
         self._descriptions.clear()
+        self._canon.clear()
         self._poly_orders.clear()
         self._verdicts.clear()
 
@@ -594,6 +628,7 @@ class ContainmentEngine:
             "hom_enums": self._hom_enums.items(),
             "covered": self._covered.items(),
             "descriptions": self._descriptions.items(),
+            "canonical": self._canon.items(),
             "poly_orders": self._poly_orders.items(),
             "verdicts": verdicts,
         }
@@ -623,6 +658,7 @@ class ContainmentEngine:
                            ("hom_enums", self._hom_enums),
                            ("covered", self._covered),
                            ("descriptions", self._descriptions),
+                           ("canonical", self._canon),
                            ("poly_orders", self._poly_orders)):
             restored = 0
             for key, value in state.get(layer, ()):

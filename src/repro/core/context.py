@@ -2,8 +2,10 @@
 
 The Table-1 dispatch in :mod:`repro.core.containment` is built from a
 handful of expensive primitives: semiring classification, homomorphism
-search (existence and enumeration), homomorphic covering, and the
-complete description ``⟨Q⟩`` of a UCQ.  :class:`DecisionContext` routes
+search (existence and enumeration), homomorphic covering, the complete
+description ``⟨Q⟩`` of a UCQ, and the canonical form (isomorphism key,
+canonical renaming, automorphism group size) of a CCQ.
+:class:`DecisionContext` routes
 all of them through one object so callers (most notably
 :class:`repro.api.ContainmentEngine`) can interpose caches without the
 core procedures knowing anything about caching policy.
@@ -28,6 +30,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..homomorphisms.canonical import CanonicalForm
+from ..homomorphisms.canonical import canonical_form as _memoized_canonical_form
 from ..homomorphisms.covering import covered_atoms
 from ..homomorphisms.search import HomKind, find_homomorphism, homomorphisms
 from ..queries.ccq import complete_description_ucq
@@ -88,6 +92,20 @@ class DecisionContext:
         memoized — queries are immutable, so the expansion is a pure
         function of the union."""
         return _cached_description(union)
+
+    def canonical_form(self, query) -> CanonicalForm:
+        """The canonical labeling record of a (C)CQ (Sec. 5.2).
+
+        One :class:`~repro.homomorphisms.canonical.CanonicalForm`
+        bundles the isomorphism key, the capture-free canonical
+        renaming and the automorphism group size — the primitives the
+        counting conditions ``→֒k``/``→֒∞`` and the ``⇉2`` exemption
+        consume per CCQ of a complete description.  The default
+        delegates to the process-wide memo of
+        :func:`repro.homomorphisms.canonical.canonical_form`; engines
+        override it with an observable, snapshot-persisted LRU.
+        """
+        return _memoized_canonical_form(query)
 
     def poly_leq(self, semiring, p1, p2) -> bool:
         """Decide the polynomial order ``P1 ≼K P2`` (Prop. 4.19).

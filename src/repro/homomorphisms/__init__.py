@@ -1,8 +1,10 @@
 """Homomorphism search, covering, isomorphism and UCQ conditions."""
 
+from .canonical import CanonicalForm, canonical_form, compute_canonical_form
 from .cores import core_of, is_core, retracts
 from .covering import covered_atoms, covers
 from .isomorphism import (are_isomorphic, automorphism_count, canonical_key,
+                          canonical_rename, endomorphisms, is_automorphism,
                           isomorphism_classes)
 from .search import (HomKind, find_homomorphism, has_homomorphism,
                      homomorphisms)
@@ -10,9 +12,11 @@ from .ucq_conditions import (bi_count_infty, bi_count_k, covering_2,
                              covering_union, local_condition, sur_infty)
 
 __all__ = [
-    "HomKind", "are_isomorphic", "automorphism_count", "bi_count_infty",
-    "bi_count_k", "canonical_key", "core_of", "covered_atoms", "covering_2",
-    "covering_union", "covers", "find_homomorphism", "has_homomorphism",
-    "homomorphisms", "is_core", "isomorphism_classes", "local_condition",
-    "retracts", "sur_infty",
+    "CanonicalForm", "HomKind", "are_isomorphic", "automorphism_count",
+    "bi_count_infty", "bi_count_k", "canonical_form", "canonical_key",
+    "canonical_rename", "compute_canonical_form", "core_of",
+    "covered_atoms", "covering_2", "covering_union", "covers",
+    "endomorphisms", "find_homomorphism", "has_homomorphism",
+    "homomorphisms", "is_automorphism", "is_core", "isomorphism_classes",
+    "local_condition", "retracts", "sur_infty",
 ]

@@ -3,129 +3,90 @@
 Two CCQs are isomorphic when they coincide up to a renaming of their
 existential variables (heads are fixed).  The UCQ conditions ``→֒k`` and
 ``→֒∞`` count CCQs per isomorphism class (``⟨Q⟩[Q≃]`` in the paper), so
-we compute a *canonical key* — the lexicographically least serialization
-over all existential-variable bijections — and group by it.
+we compute a *canonical key* and group by it.
 
 The paper's key structural fact, "all endomorphisms of CCQs are
 automorphisms", makes the automorphism group the only degree of freedom
 a complete CCQ has; its size enters the reconstruction of the ``→֒k``
 condition for finite ``k`` (see :mod:`repro.homomorphisms.ucq_conditions`).
+
+All three primitives — key, renaming, group size — delegate to the
+refinement-based canonical labeling engine of
+:mod:`repro.homomorphisms.canonical`, which computes them in one
+individualization-refinement pass instead of minimizing over all
+(factorially many) permutations of the existential variables.  The old
+exhaustive algorithm survives as an executable specification in
+:mod:`repro.homomorphisms._reference_iso`.  Callers holding a
+:class:`repro.core.DecisionContext` can route the computation through
+an engine's observable LRU via ``context.canonical_form``;
+the plain functions here use the process-wide memo.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from itertools import permutations
-
-from ..queries.atoms import Var, is_var
-from ..queries.ccq import CQWithInequalities
 from ..queries.cq import CQ
+from .canonical import canonical_form
 
 __all__ = [
-    "canonical_key",
     "are_isomorphic",
     "automorphism_count",
+    "canonical_key",
+    "canonical_rename",
+    "endomorphisms",
+    "is_automorphism",
     "isomorphism_classes",
 ]
 
 
-def _serialize(query: CQ, mapping: dict) -> tuple:
-    """A hashable normal form of ``query`` under an existential-variable
-    renaming; free variables serialize positionally."""
-    head_positions = {var: f"u{pos}" for pos, var in enumerate(query.head)}
-
-    def term_key(term):
-        if is_var(term):
-            if term in mapping:
-                return ("e", mapping[term])
-            return ("u", head_positions[term])
-        return ("c", repr(term))
-
-    atoms = tuple(sorted(
-        (atom.relation, tuple(term_key(term) for term in atom.terms))
-        for atom in query.atoms
-    ))
-    inequalities = tuple(sorted(
-        tuple(sorted(term_key(var) for var in pair))
-        for pair in getattr(query, "inequalities", frozenset())
-    ))
-    return (atoms, inequalities)
-
-
-@lru_cache(maxsize=4096)
 def canonical_key(query: CQ) -> tuple:
-    """Canonical form: minimal serialization over all renamings.
-
-    Exponential in the number of existential variables, which complete
-    descriptions keep small; results are cached (queries are immutable).
-    """
-    existential = query.existential_vars()
-    labels = tuple(range(len(existential)))
-    best = None
-    for ordering in permutations(labels):
-        mapping = {var: f"e{label}"
-                   for var, label in zip(existential, ordering)}
-        candidate = _serialize(query, mapping)
-        if best is None or candidate < best:
-            best = candidate
-    if best is None:  # no existential variables
-        best = _serialize(query, {})
-    return (type(query).__name__, query.arity, best)
+    """Canonical form: equal across (and only across) isomorphic
+    queries.  Computed by refinement-based canonical labeling — see
+    :func:`repro.homomorphisms.canonical.canonical_form`."""
+    return canonical_form(query).key
 
 
 def are_isomorphic(first: CQ, second: CQ) -> bool:
     """True iff the queries coincide up to existential renaming."""
-    return canonical_key(first) == canonical_key(second)
+    return canonical_form(first).key == canonical_form(second).key
 
 
-@lru_cache(maxsize=4096)
 def automorphism_count(query: CQ) -> int:
     """Size of the automorphism group (existential renamings fixing the
     query; inequalities are preserved by any bijection on a complete
-    CCQ, and are checked explicitly otherwise)."""
-    existential = query.existential_vars()
-    identity = _serialize(query, {var: f"e{i}"
-                                  for i, var in enumerate(existential)})
-    count = 0
-    for ordering in permutations(range(len(existential))):
-        mapping = {var: f"e{label}"
-                   for var, label in zip(existential, ordering)}
-        if _serialize(query, mapping) == identity:
-            count += 1
-    return count
+    CCQ, and are checked explicitly otherwise).  Read off the
+    individualization-refinement search tree by orbit-stabilizer."""
+    return canonical_form(query).automorphisms
 
 
-def isomorphism_classes(queries) -> dict[tuple, list]:
+def isomorphism_classes(queries, *, context=None) -> dict[tuple, list]:
     """Group a multiset of queries by isomorphism class.
 
     Returns canonical key → list of members (multiplicities preserved).
+    ``context`` optionally routes the canonical-form computation
+    through a :class:`repro.core.DecisionContext` (an engine's LRU).
     """
+    form = canonical_form if context is None else context.canonical_form
     classes: dict[tuple, list] = {}
     for query in queries:
-        classes.setdefault(canonical_key(query), []).append(query)
+        classes.setdefault(form(query).key, []).append(query)
     return classes
 
 
 def canonical_rename(query: CQ) -> CQ:
     """Rename existential variables to the canonical labeling.
 
-    Applies the permutation that realizes :func:`canonical_key`, naming
-    existential variables ``e0, e1, …`` — so two isomorphic queries
-    become *equal* (heads unchanged).  Used by the normalizer to give
-    equivalent queries identical normal forms.
+    Applies the renaming that realizes :func:`canonical_key` — so two
+    isomorphic queries become *equal* (heads unchanged).  Fresh names
+    are capture-free: they skip every head-variable name, so a head
+    variable literally named ``e0`` can never absorb an existential
+    (``Q(e0) :- R(e0, x)`` renames ``x`` to ``e1``, not ``e0``).  Used
+    by the normalizer to give equivalent queries identical normal
+    forms; idempotent by construction.
     """
-    existential = query.existential_vars()
-    best = None
-    best_mapping: dict = {}
-    for ordering in permutations(range(len(existential))):
-        mapping = {var: f"e{label}"
-                   for var, label in zip(existential, ordering)}
-        candidate = _serialize(query, mapping)
-        if best is None or candidate < best:
-            best = candidate
-            best_mapping = mapping
-    return query.substitute(
-        {var: Var(label) for var, label in best_mapping.items()})
+    form = canonical_form(query)
+    if not form.renaming:
+        return query
+    return query.substitute(form.renaming_map())
 
 
 def endomorphisms(query: CQ):

@@ -27,9 +27,10 @@ Each function implements one syntactic condition between UCQs ``Q2`` and
 
 Every function accepts an optional ``context``
 (:class:`repro.core.DecisionContext`-like) that reroutes the expensive
-primitives — homomorphism existence, atom covering and the complete
-description ``⟨Q⟩`` — through a caller-provided cache; with no context
-the plain functions run.
+primitives — homomorphism existence, atom covering, the complete
+description ``⟨Q⟩`` and the canonical form (isomorphism key +
+automorphism group size) — through a caller-provided cache; with no
+context the plain functions run.
 """
 
 from __future__ import annotations
@@ -67,6 +68,13 @@ def _description(context, union: UCQ) -> tuple:
     if context is not None:
         return context.complete_description(union)
     return complete_description_ucq(union)
+
+
+def _automorphisms(context, query: CQ) -> int:
+    """``|Aut|`` primitive, routed through ``context`` when given."""
+    if context is not None:
+        return context.canonical_form(query).automorphisms
+    return automorphism_count(query)
 
 
 def local_condition(source: UCQ | CQ, target: UCQ | CQ,
@@ -142,13 +150,13 @@ def covering_2(source: UCQ | CQ, target: UCQ | CQ, *,
         return False
     reduced1 = [_set_reduce(ccq) for ccq in description1]
     reduced2 = [_set_reduce(ccq) for ccq in description2]
-    classes1 = isomorphism_classes(reduced1)
-    classes2 = isomorphism_classes(reduced2)
+    classes1 = isomorphism_classes(reduced1, context=context)
+    classes2 = isomorphism_classes(reduced2, context=context)
     for key, members in classes1.items():
         if len(members) < 2:
             continue
         representative = members[0]
-        if automorphism_count(representative) > 1:
+        if _automorphisms(context, representative) > 1:
             continue
         preimages = sum(
             1 for ccq2 in reduced2
@@ -176,8 +184,10 @@ def bi_count_infty(source: UCQ | CQ, target: UCQ | CQ, *,
                    context=None) -> bool:
     """``⟨Q2⟩ →֒∞ ⟨Q1⟩`` (Def. 5.8): every isomorphism class occurs in
     ``⟨Q2⟩`` at least as often as in ``⟨Q1⟩``."""
-    classes2 = isomorphism_classes(_description(context, as_ucq(source)))
-    classes1 = isomorphism_classes(_description(context, as_ucq(target)))
+    classes2 = isomorphism_classes(_description(context, as_ucq(source)),
+                                   context=context)
+    classes1 = isomorphism_classes(_description(context, as_ucq(target)),
+                                   context=context)
     return all(
         len(members) <= len(classes2.get(key, ()))
         for key, members in classes1.items()
@@ -202,10 +212,12 @@ def bi_count_k(source: UCQ | CQ, target: UCQ | CQ, k: float, *,
     k = int(k)
     if k < 1:
         raise ValueError("offset must be at least 1")
-    classes2 = isomorphism_classes(_description(context, as_ucq(source)))
-    classes1 = isomorphism_classes(_description(context, as_ucq(target)))
+    classes2 = isomorphism_classes(_description(context, as_ucq(source)),
+                                   context=context)
+    classes1 = isomorphism_classes(_description(context, as_ucq(target)),
+                                   context=context)
     for key, members in classes1.items():
-        group = automorphism_count(members[0])
+        group = _automorphisms(context, members[0])
         required = min(len(members), math.ceil(k / group))
         if required > len(classes2.get(key, ())):
             return False

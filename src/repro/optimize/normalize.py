@@ -10,6 +10,11 @@ variable renaming, yielding a normal form such that:
   outputs (cores are unique up to isomorphism, and the canonical
   renaming removes the isomorphism slack) — a syntactic equivalence
   check by normalization, tested in ``tests/test_normalize.py``.
+
+The canonical renaming is capture-free: fresh existential names skip
+every head-variable name, so a head variable literally named ``e0``
+can never absorb an existential (see
+:func:`repro.homomorphisms.canonical.fresh_existential_labels`).
 """
 
 from __future__ import annotations

@@ -39,20 +39,58 @@ __all__ = [
 ]
 
 
-def _variable_signature(var: str, polys: tuple[Polynomial, ...]) -> tuple:
-    """A renaming-invariant fingerprint of how ``var`` occurs in ``polys``.
+def _refine_pair_colors(variables: tuple[str, ...],
+                        polys: tuple[Polynomial, ...],
+                        colors: dict[str, int]) -> dict[str, int]:
+    """Iterated color refinement of the pair's variables.
 
-    Two variables related by a pair automorphism get equal signatures, so
-    sorting by ``(signature, name)`` yields a relabeling that is stable
-    under any occurrence-preserving renaming and deterministic otherwise.
+    Each variable's color is refined by, per side, the sorted multiset
+    of its monomial occurrences — coefficient, degree, own exponent,
+    and the colors/exponents of the co-occurring variables.  New colors
+    are ranks of sorted signatures, so the color *order* is itself
+    renaming-invariant (the same scheme as
+    :mod:`repro.homomorphisms.canonical`, on the monomial incidence
+    structure instead of the atom one).
     """
-    return tuple(
-        tuple(sorted(
-            (mono.degree(), mono.exponent(var), coeff)
+    while True:
+        signatures = {}
+        for var in variables:
+            per_side = []
+            for poly in polys:
+                occurrence_sig = sorted(
+                    (coeff, mono.degree(), mono.exponent(var),
+                     tuple(sorted((colors[other], exp)
+                                  for other, exp in mono.powers
+                                  if other != var)))
+                    for mono, coeff in poly.items()
+                    if mono.exponent(var)
+                )
+                per_side.append(tuple(occurrence_sig))
+            signatures[var] = (colors[var], tuple(per_side))
+        ranks = {signature: rank for rank, signature
+                 in enumerate(sorted(set(signatures.values())))}
+        refined = {var: ranks[signatures[var]] for var in variables}
+        if refined == colors:
+            return colors
+        colors = refined
+        if len(ranks) == len(variables):
+            return colors
+
+
+def _swap_fixes(polys: tuple[Polynomial, ...], a: str, b: str) -> bool:
+    """True iff transposing variables ``a`` and ``b`` fixes both sides
+    — a cheaply-detected pair automorphism used to prune the tie-break
+    search."""
+    swap = {a: b, b: a}
+    for poly in polys:
+        swapped = Polynomial(
+            (Monomial(tuple((swap.get(var, var), exp)
+                            for var, exp in mono.powers)), coeff)
             for mono, coeff in poly.items()
-        ))
-        for poly in polys
-    )
+        )
+        if swapped != poly:
+            return False
+    return True
 
 
 def canonical_pair(
@@ -69,16 +107,61 @@ def canonical_pair(
     ``poly_leq`` decisions: the canonical pairs of two admissible pairs
     coincide only if the pairs are renamings of each other.
 
-    Variables are ordered by an occurrence signature (degree/exponent/
-    coefficient profile per side) with the original name as tiebreak, so
-    pairs produced from differently-tagged canonical instances of the
-    same CCQ collapse onto one key.
+    The variable order is canonical, never name-dependent: iterated
+    color refinement over the monomial incidence structure orders the
+    variables by occurrence profile, and remaining ties are broken by
+    individualization-refinement — each tied variable is individualized
+    in turn and the lexicographically least rewritten pair wins (with
+    transposition automorphisms pruning interchangeable candidates).
+    Renamings of one pair therefore always collapse onto one key, even
+    when occurrence signatures tie.
     """
     polys = (p1, p2)
-    variables = sorted(p1.variables() | p2.variables())
-    ordered = sorted(variables,
-                     key=lambda var: (_variable_signature(var, polys), var))
-    renaming = {var: f"v{index}" for index, var in enumerate(ordered)}
+    variables = tuple(sorted(p1.variables() | p2.variables()))
+    colors = _refine_pair_colors(variables, polys,
+                                 {var: 0 for var in variables})
+
+    def serialize(labels: dict[str, int]) -> tuple:
+        return tuple(
+            tuple(sorted(
+                (tuple(sorted((labels[var], exp)
+                              for var, exp in mono.powers)), coeff)
+                for mono, coeff in poly.items()))
+            for poly in polys
+        )
+
+    best: list = [None, None]  # (serialization, labels)
+
+    def search(colors: dict[str, int]) -> None:
+        cells: dict[int, list[str]] = {}
+        for var in variables:
+            cells.setdefault(colors[var], []).append(var)
+        ordered_cells = [sorted(cells[color]) for color in sorted(cells)]
+        target = next((cell for cell in ordered_cells if len(cell) > 1),
+                      None)
+        if target is None:
+            labels = {var: colors[var] for var in variables}
+            serialization = serialize(labels)
+            if best[0] is None or serialization < best[0]:
+                best[0], best[1] = serialization, labels
+            return
+        explored: list[str] = []
+        for candidate in target:
+            if any(_swap_fixes(polys, candidate, done)
+                   for done in explored):
+                continue
+            marks = {var: (colors[var], 0 if var == candidate else 1)
+                     for var in variables}
+            ranks = {mark: rank for rank, mark
+                     in enumerate(sorted(set(marks.values())))}
+            search(_refine_pair_colors(
+                variables, polys,
+                {var: ranks[marks[var]] for var in variables}))
+            explored.append(candidate)
+
+    search(colors)
+    labels = best[1] if best[1] is not None else {}
+    renaming = {var: f"v{labels[var]}" for var in variables}
 
     def rewrite(poly: Polynomial) -> Polynomial:
         return Polynomial(

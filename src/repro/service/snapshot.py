@@ -3,8 +3,9 @@
 Short-lived ``python -m repro batch`` invocations — and worker
 processes of :class:`repro.service.pool.WorkerPool` — start with cold
 caches, re-paying for parse interning, classification, homomorphism
-searches, covered-atom sets, complete descriptions and LP-backed
-tropical order certificates that a previous run already computed.  A
+searches, covered-atom sets, complete descriptions, canonical labeling
+records and LP-backed tropical order certificates that a previous run
+already computed.  A
 *snapshot* persists those layers to disk so the next run starts warm.
 
 Format
@@ -72,7 +73,7 @@ SNAPSHOT_VERSION = 1
 
 #: The cache layers a snapshot may carry, in import order.
 _LAYERS = ("classifications", "parsed", "homs", "hom_enums", "covered",
-           "descriptions", "poly_orders", "verdicts")
+           "descriptions", "canonical", "poly_orders", "verdicts")
 
 
 class SnapshotError(ValueError):

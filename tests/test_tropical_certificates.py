@@ -315,3 +315,56 @@ def test_memoized_decisions_cross_validate_against_the_grid():
             assert engine.poly_leq(semiring, p, q) == memoized
     assert engine.stats.poly_hits >= 80
     assert engine.stats.poly_rejected == 0
+
+
+# --- canonical pair tie-breaking (ROADMAP item 5, PR 5) ----------------
+
+def _renamed_poly(poly: Polynomial, mapping: dict) -> Polynomial:
+    return Polynomial(
+        (Monomial(tuple((mapping.get(var, var), exp)
+                        for var, exp in mono.powers)), coeff)
+        for mono, coeff in poly.items()
+    )
+
+
+def test_canonical_pair_collapses_renamings_on_signature_ties():
+    """Variables b, c, d of a²b + acd share the occurrence signature
+    but only c↔d is a pair automorphism — the old name tiebreak keyed
+    renamings of this pair apart; refinement + individualization must
+    collapse them onto one key."""
+    p1 = Polynomial([
+        (Monomial({"a": 2, "b": 1}), 1),
+        (Monomial({"a": 1, "c": 1, "d": 1}), 1),
+    ])
+    p2 = Polynomial([(Monomial({"a": 1}), 1)])
+    canonical = canonical_pair(p1, p2)[:2]
+    renaming = {"b": "z", "c": "b"}  # permutes the tied names' order
+    renamed = canonical_pair(_renamed_poly(p1, renaming),
+                             _renamed_poly(p2, renaming))[:2]
+    assert canonical == renamed
+
+
+def test_canonical_pair_random_renaming_invariance():
+    rng = random.Random(5050)
+    for _ in range(30):
+        p, q = random_poly(rng), random_poly(rng)
+        variables = sorted(p.variables() | q.variables())
+        shuffled = list(variables)
+        rng.shuffle(shuffled)
+        mapping = dict(zip(variables, (f"w{i}" for i in range(len(shuffled)))))
+        mapping = {var: mapping[target]
+                   for var, target in zip(variables, shuffled)}
+        base = canonical_pair(p, q)[:2]
+        renamed = canonical_pair(_renamed_poly(p, mapping),
+                                 _renamed_poly(q, mapping))[:2]
+        assert base == renamed, (p, q, mapping)
+
+
+def test_canonical_pair_renaming_is_a_bijection():
+    rng = random.Random(6060)
+    for _ in range(20):
+        p, q = random_poly(rng), random_poly(rng)
+        c1, c2, renaming = canonical_pair(p, q)
+        assert len(set(renaming.values())) == len(renaming)
+        assert _renamed_poly(p, renaming) == c1
+        assert _renamed_poly(q, renaming) == c2
