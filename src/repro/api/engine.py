@@ -95,6 +95,9 @@ class EngineStats:
     poly_calls: int = 0
     poly_hits: int = 0
     poly_rejected: int = 0
+    eval_plan_calls: int = 0
+    eval_plan_hits: int = 0
+    evaluations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (for logs and reports)."""
@@ -114,6 +117,8 @@ _LAYER_COUNTERS = (
      "description_entries"),
     ("canonical", "canon_hits", "canon_calls", "canon_entries"),
     ("poly_orders", "poly_hits", "poly_calls", "poly_entries"),
+    ("eval_plans", "eval_plan_hits", "eval_plan_calls",
+     "eval_plan_entries"),
 )
 
 
@@ -222,6 +227,10 @@ class CachingDecisionContext(DecisionContext):
         """Canonical labeling records via the engine's LRU."""
         return self._engine.canonical_form(query)
 
+    def eval_plan(self, query):
+        """Columnar evaluation plans via the engine's LRU."""
+        return self._engine.eval_plan(query)
+
     def poly_leq(self, semiring, p1, p2) -> bool:
         """Polynomial-order decisions via the engine's certificate memo."""
         return self._engine.poly_leq(semiring, p1, p2)
@@ -249,7 +258,8 @@ class ContainmentEngine:
                  cover_cache_size: int = 65536,
                  description_cache_size: int = 8192,
                  canon_cache_size: int = 65536,
-                 poly_cache_size: int = 65536):
+                 poly_cache_size: int = 65536,
+                 eval_plan_cache_size: int = 4096):
         self.registry = (registry if registry is not None
                          else DEFAULT_REGISTRY.copy())
         self.stats = EngineStats()
@@ -261,6 +271,7 @@ class ContainmentEngine:
         self._descriptions = _LRU(description_cache_size)
         self._canon = _LRU(canon_cache_size)
         self._poly_orders = _LRU(poly_cache_size)
+        self._eval_plans = _LRU(eval_plan_cache_size)
         self._verdicts = _LRU(verdict_cache_size)
         self._context = CachingDecisionContext(self)
         self._registry_version = self.registry.version
@@ -486,6 +497,24 @@ class ContainmentEngine:
             self._poly_orders.put(key, certificate)
         return holds
 
+    def eval_plan(self, query):
+        """LRU-cached columnar evaluation plan of a CQ.
+
+        Plans (:class:`repro.eval.plan.EvalPlan`) mention only query
+        terms, so the layer is structural: it survives registry bumps
+        and travels in snapshots as-is — a warm-started worker answers
+        ``repro eval`` workloads without ever re-planning.
+        """
+        hit = self._eval_plans.get(query, _MISSING)
+        if hit is not _MISSING:
+            self.stats.eval_plan_hits += 1
+            return hit
+        self.stats.eval_plan_calls += 1
+        from ..eval.plan import build_plan
+        result = build_plan(query)
+        self._eval_plans.put(query, result)
+        return result
+
     # -- deciding -------------------------------------------------------
 
     def decide(self, q1, q2, semiring: str | Semiring, *,
@@ -528,6 +557,26 @@ class ContainmentEngine:
         self._verdicts.put(key, document)
         return document
 
+    def evaluate(self, query, instance, semiring: str | Semiring | None = None):
+        """Columnar UCQ evaluation over a K-instance (:mod:`repro.eval`).
+
+        ``query`` accepts CQ/UCQ objects, Datalog source text, lists of
+        member texts, or serialized query dicts (the same coercions as
+        :meth:`decide`); ``semiring`` defaults to the instance's own.
+        Plans route through this engine's ``eval_plans`` layer, so
+        repeated evaluations of one query hit the cache (visible in
+        :meth:`cache_stats`).  Returns a
+        :class:`repro.eval.engine.AnswerTable`.
+        """
+        self._sync()
+        from ..eval.engine import evaluate as columnar_evaluate
+        union = _coerce_query(query, self.parse)
+        resolved = (self.semiring(semiring) if semiring is not None
+                    else instance.semiring)
+        self.stats.evaluations += 1
+        return columnar_evaluate(union, instance, resolved,
+                                 context=self._context)
+
     def decide_request(self, request: ContainmentRequest) -> VerdictDocument:
         """Decide one :class:`ContainmentRequest`."""
         return self.decide(request.q1, request.q2, request.semiring,
@@ -561,6 +610,7 @@ class ContainmentEngine:
             description_entries=len(self._descriptions),
             canon_entries=len(self._canon),
             poly_entries=len(self._poly_orders),
+            eval_plan_entries=len(self._eval_plans),
             verdict_entries=len(self._verdicts),
         )
         return info
@@ -584,6 +634,7 @@ class ContainmentEngine:
         self._descriptions.clear()
         self._canon.clear()
         self._poly_orders.clear()
+        self._eval_plans.clear()
         self._verdicts.clear()
 
     # -- snapshot hooks --------------------------------------------------
@@ -630,6 +681,7 @@ class ContainmentEngine:
             "descriptions": self._descriptions.items(),
             "canonical": self._canon.items(),
             "poly_orders": self._poly_orders.items(),
+            "eval_plans": self._eval_plans.items(),
             "verdicts": verdicts,
         }
 
@@ -659,7 +711,8 @@ class ContainmentEngine:
                            ("covered", self._covered),
                            ("descriptions", self._descriptions),
                            ("canonical", self._canon),
-                           ("poly_orders", self._poly_orders)):
+                           ("poly_orders", self._poly_orders),
+                           ("eval_plans", self._eval_plans)):
             restored = 0
             for key, value in state.get(layer, ()):
                 lru.put(key, value)

@@ -18,6 +18,9 @@ Usage (after installation)::
     python -m repro minimize --semiring B "Q(x) :- R(x, y), R(x, z)"
     python -m repro evaluate --semiring N \\
         --fact "R(a, b) = 2" --fact "S(b) = 3" "Q(x) :- R(x, y), S(y)"
+    python -m repro eval --semiring T+ \\
+        --query "Q(x, y) :- Road(x, z), Road(z, y)" \\
+        --instance examples/data/route_costs.csv --json
 
 Annotations on ``--fact`` are parsed as integers (mapped through the
 semiring: a count for ``N``, a cost for ``T+``, …) or, for the
@@ -309,6 +312,52 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _json_value(value):
+    """A JSON-clean rendering of a domain value or annotation."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") \
+            else repr(value)
+    return repr(value)
+
+
+def _cmd_eval(args) -> int:
+    from .data.instance import format_annotation
+
+    engine = args.engine
+    semiring = engine.semiring(args.semiring)
+    instance = Instance.from_csv(args.instance, semiring)
+    table = engine.evaluate(args.query, instance, semiring)
+    rows = sorted(table.rows, key=lambda kv: repr(kv[0]))
+    if args.json:
+        def annotation_form(value):
+            try:
+                return format_annotation(semiring, value)
+            except ValueError:
+                return repr(value)
+
+        print(json.dumps({
+            "semiring": semiring.name,
+            "arity": table.arity,
+            "facts": instance.fact_count(),
+            "answers": [
+                {"tuple": [_json_value(value) for value in head],
+                 "annotation": annotation_form(annotation)}
+                for head, annotation in rows
+            ],
+        }, ensure_ascii=False))
+        return 0
+    print(f"{len(rows)} answer(s) over {semiring.name} "
+          f"({instance.fact_count()} facts)")
+    if not rows:
+        print("no answers (all annotations are 0)")
+        return 0
+    for head, annotation in rows:
+        print(f"  {head} ↦ {annotation!r}")
+    return 0
+
+
 def _cmd_falsify(args) -> int:
     import random
 
@@ -435,6 +484,19 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd.add_argument("--fact", action="append")
     evaluate_cmd.add_argument("query")
     evaluate_cmd.set_defaults(func=_cmd_evaluate)
+
+    eval_cmd = commands.add_parser(
+        "eval", help="evaluate a query columnar-ly over an annotated "
+                     "CSV instance")
+    eval_cmd.add_argument("--semiring", required=True)
+    eval_cmd.add_argument("--query", action="append", required=True,
+                          help="CQ source text (repeat for a union)")
+    eval_cmd.add_argument("--instance", required=True, metavar="FILE",
+                          help="annotated CSV: relation, v1, …, vk, "
+                               "annotation")
+    eval_cmd.add_argument("--json", action="store_true",
+                          help="print the answer table as JSON")
+    eval_cmd.set_defaults(func=_cmd_eval)
 
     falsify = commands.add_parser(
         "falsify", help="probe the necessary-class axioms of a semiring")

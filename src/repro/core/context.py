@@ -107,6 +107,20 @@ class DecisionContext:
         """
         return _memoized_canonical_form(query)
 
+    def eval_plan(self, query):
+        """The columnar evaluation plan of a CQ (:mod:`repro.eval`).
+
+        Plans are pure functions of the (immutable) query, so the
+        default delegates to the process-wide memo of
+        :func:`repro.eval.plan.cached_plan`; engines override this with
+        their snapshot-persisted ``eval_plans`` LRU so warm-started
+        workers skip planning altogether.  Imported lazily — the core
+        dispatch must stay importable without the eval subsystem's
+        numpy dependency.
+        """
+        from ..eval.plan import cached_plan
+        return cached_plan(query)
+
     def poly_leq(self, semiring, p1, p2) -> bool:
         """Decide the polynomial order ``P1 ≼K P2`` (Prop. 4.19).
 

@@ -10,9 +10,72 @@ are built.
 
 from __future__ import annotations
 
+import csv
+import math
+import os
+import re
 from typing import Any, Iterable, Iterator, Mapping
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "format_annotation", "parse_annotation"]
+
+_INT = re.compile(r"[+-]?\d+")
+_FRACTION = re.compile(r"[+-]?\d+/\d+")
+_NAME = re.compile(r"[A-Za-z_]\w*")
+
+
+def parse_annotation(semiring, text: str) -> Any:
+    """Parse one annotated-CSV cell into a ``semiring`` element.
+
+    The accepted forms mirror the CLI's ``--fact`` syntax plus the
+    literals the numeric semirings print: integers (normalized through
+    the semiring — a count for ``N``, a cost for ``T+``, a truthy value
+    for ``B``), ``true``/``false``, ``inf``/``-inf`` (the tropical
+    zeros), ``p/q`` fractions (Viterbi/fuzzy/Łukasiewicz weights), and
+    — for provenance-like semirings exposing ``var`` — bare identifiers
+    as fresh annotation tokens.
+    """
+    text = text.strip()
+    if _INT.fullmatch(text):
+        return semiring.normalize(int(text))
+    lowered = text.lower()
+    if lowered in ("inf", "+inf", "∞"):
+        return semiring.normalize(math.inf)
+    if lowered in ("-inf", "-∞"):
+        return semiring.normalize(-math.inf)
+    if lowered == "true":
+        return semiring.normalize(True)
+    if lowered == "false":
+        return semiring.normalize(False)
+    if _FRACTION.fullmatch(text):
+        from fractions import Fraction
+        return semiring.normalize(Fraction(text))
+    if _NAME.fullmatch(text) and hasattr(semiring, "var"):
+        return semiring.var(text)
+    raise ValueError(
+        f"cannot parse annotation {text!r} for {semiring.name}")
+
+
+def format_annotation(semiring, value: Any) -> str:
+    """Render an annotation as a CSV cell :func:`parse_annotation` can
+    read back.  Raises :class:`ValueError` for elements with no literal
+    form (polynomials, witness sets, …)."""
+    if value is True or value is False:
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    from fractions import Fraction
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    raise ValueError(
+        f"annotation {value!r} of {semiring.name} has no CSV literal form")
+
+
+def _parse_cell(text: str) -> Any:
+    """A tuple cell: integer-looking cells become ints, the rest stay
+    strings — matching how constants round-trip through ``str``."""
+    return int(text) if _INT.fullmatch(text) else text
 
 
 class Instance:
@@ -63,6 +126,66 @@ class Instance:
             else:
                 table[row] = annotation
         return cls(semiring, relations)
+
+    @classmethod
+    def from_csv(cls, path: str | os.PathLike, semiring) -> "Instance":
+        """Load an annotated-CSV file: ``relation, v1, …, vk, annotation``.
+
+        Each row is one fact — the first cell names the relation, the
+        last cell is the annotation (parsed by
+        :func:`parse_annotation`), everything between is the tuple
+        (integer-looking cells become ints, others stay strings).
+        Blank lines and ``#`` comment lines are skipped; repeated rows
+        accumulate with ``⊕``, zero annotations are dropped — exactly
+        the :meth:`from_facts` semantics.  This is the shared ingest
+        path of ``python -m repro eval`` and the columnar engine's
+        cross-validation harness.
+        """
+        facts: list[tuple[str, tuple, Any]] = []
+        with open(path, newline="", encoding="utf-8") as handle:
+            for lineno, cells in enumerate(csv.reader(handle), start=1):
+                if not cells or (len(cells) == 1 and not cells[0].strip()):
+                    continue
+                if cells[0].lstrip().startswith("#"):
+                    continue
+                if len(cells) < 2:
+                    raise ValueError(
+                        f"{path}:{lineno}: a fact row needs at least a "
+                        "relation and an annotation cell")
+                relation = cells[0].strip()
+                if not relation:
+                    raise ValueError(
+                        f"{path}:{lineno}: empty relation name")
+                try:
+                    annotation = parse_annotation(semiring, cells[-1])
+                except ValueError as error:
+                    raise ValueError(f"{path}:{lineno}: {error}") from None
+                row = tuple(_parse_cell(cell.strip())
+                            for cell in cells[1:-1])
+                facts.append((relation, row, annotation))
+        return cls.from_facts(semiring, facts)
+
+    def to_csv(self, path: str | os.PathLike) -> int:
+        """Write the support as annotated CSV; returns the fact count.
+
+        Rows come out deterministically ordered (relation, then tuple
+        repr) and annotations through :func:`format_annotation`, so an
+        instance over a numeric semiring round-trips through
+        :meth:`from_csv` unchanged; symbolic annotations without a
+        literal form raise :class:`ValueError`.
+        """
+        written = 0
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for relation in self.relations():
+                rows = sorted(self._relations[relation].items(),
+                              key=lambda kv: repr(kv[0]))
+                for row, annotation in rows:
+                    writer.writerow(
+                        [relation, *(str(value) for value in row),
+                         format_annotation(self.semiring, annotation)])
+                    written += 1
+        return written
 
     def with_fact(self, relation: str, row: tuple, annotation: Any) -> "Instance":
         """A new instance with one more fact (``⊕``-accumulating)."""

@@ -1,0 +1,91 @@
+"""Kernel dispatch: columnar ⊕/⊗ for *every* registered semiring.
+
+Numeric semirings declare exact dtype kernels through
+:meth:`repro.semirings.base.Semiring.vectorized_ops`
+(see :mod:`repro.semirings._vectorized`).  Everything else — Why/Lin
+frozensets, provenance polynomials, ``Fraction``-valued Viterbi/fuzzy
+semirings (floats would break byte-identical agreement), product
+semirings — runs on :class:`GenericObjectOps`: object-dtype columns
+whose element-wise operations call the scalar semiring through
+``np.frompyfunc`` and whose segment fold replays exactly the
+first-value-then-``add`` accumulation of
+:func:`repro.queries.evaluation.evaluate_all`.
+
+:func:`ops_for` is the single dispatch point.  A declared kernel that
+*refuses* an actual payload (``OverflowError`` from ``encode`` — e.g.
+``N`` counts beyond int64) is demoted to the generic path by the caller
+(:meth:`repro.eval.columns.ColumnarInstance.from_instance`), so
+exactness never depends on the dtype fast path being applicable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..semirings.base import Semiring, VectorizedOps
+
+__all__ = ["GenericObjectOps", "ops_for"]
+
+
+class GenericObjectOps(VectorizedOps):
+    """Object-dtype fallback kernels: scalar semiring ops, element-wise.
+
+    Works for every semiring by construction — ``encode`` stores the
+    normalized Python elements themselves, so ``decode`` is the
+    identity and agreement with the tuple-at-a-time evaluator is
+    trivial.  Throughput is bounded by the Python-level operations, but
+    the join machinery around it (interning, hashing, expansion) is
+    still vectorized.
+    """
+
+    dtype = None
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self._add = np.frompyfunc(semiring.add, 2, 1)
+        self._mul = np.frompyfunc(semiring.mul, 2, 1)
+
+    def encode(self, values: Sequence[Any]) -> np.ndarray:
+        array = np.empty(len(values), dtype=object)
+        for index, value in enumerate(values):
+            array[index] = value
+        return array
+
+    def decode(self, array: np.ndarray) -> list:
+        return list(array)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._add(a, b)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._mul(a, b)
+
+    def segment_add(self, values: np.ndarray, group_ids: np.ndarray,
+                    group_count: int) -> np.ndarray:
+        out = np.empty(group_count, dtype=object)
+        filled = np.zeros(group_count, dtype=bool)
+        add = self.semiring.add
+        for index in range(len(values)):
+            group = group_ids[index]
+            if filled[group]:
+                out[group] = add(out[group], values[index])
+            else:
+                out[group] = values[index]
+                filled[group] = True
+        return out
+
+
+def ops_for(semiring: Semiring) -> VectorizedOps:
+    """The columnar kernels for ``semiring``.
+
+    Prefers the semiring's declared exact dtype kernels and falls back
+    to :class:`GenericObjectOps`.  Callers that feed real payloads
+    through a declared kernel must additionally catch
+    ``OverflowError`` and retry generically.
+    """
+    declared = semiring.vectorized_ops()
+    if declared is not None:
+        return declared
+    return GenericObjectOps(semiring)

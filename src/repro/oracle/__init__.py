@@ -1,5 +1,10 @@
-"""Brute-force semantic oracle for validating decision procedures."""
+"""Semantic oracles: brute-force refutation and columnar cross-checks."""
 
-from .brute_force import Counterexample, find_counterexample, refutes
+from .brute_force import (Counterexample, combined_schema,
+                          find_counterexample, refutes)
+from .cross_validate import (CrossValidationReport, cross_validate,
+                             hunt_counterexample, random_annotated_instance)
 
-__all__ = ["Counterexample", "find_counterexample", "refutes"]
+__all__ = ["Counterexample", "CrossValidationReport", "combined_schema",
+           "cross_validate", "find_counterexample", "hunt_counterexample",
+           "random_annotated_instance", "refutes"]

@@ -33,7 +33,28 @@ from ..queries.cq import CQ
 from ..queries.evaluation import evaluate_all
 from ..queries.ucq import UCQ, as_ucq
 
-__all__ = ["Counterexample", "find_counterexample", "refutes"]
+__all__ = ["Counterexample", "combined_schema", "find_counterexample",
+           "refutes"]
+
+
+def combined_schema(q1: UCQ, q2: UCQ) -> dict[str, int]:
+    """The union schema of both queries, validated.
+
+    Random witness search must populate every relation either side
+    mentions — a relation appearing only in ``q2`` still shapes the
+    right-hand answers, and leaving it empty silently weakens the
+    search.  A relation used with two different arities across the
+    queries can never be populated consistently, so that is an error
+    rather than a silent overwrite.
+    """
+    schema = dict(q1.schema())
+    for relation, arity in q2.schema().items():
+        known = schema.setdefault(relation, arity)
+        if known != arity:
+            raise ValueError(
+                f"relation {relation!r} used with arity {known} in Q1 "
+                f"but {arity} in Q2")
+    return schema
 
 
 @dataclass(frozen=True)
@@ -127,8 +148,7 @@ def _random_instances(schema: dict[str, int], semiring,
 
 def _random_search(q1: UCQ, q2: UCQ, semiring, rng: random.Random,
                    rounds: int, domain_size: int) -> Counterexample | None:
-    schema = dict(q1.schema())
-    schema.update(q2.schema())
+    schema = combined_schema(q1, q2)
     arity = q1.arity
     for instance in _random_instances(schema, semiring, rng, rounds,
                                       domain_size):

@@ -102,6 +102,55 @@ class SemiringProperties:
             raise ValueError("Shcov ⊆ S² (Prop. 5.19): offset must be 1 or 2")
 
 
+class VectorizedOps:
+    """Columnar ⊕/⊗ kernels for one semiring (numpy-array semantics).
+
+    The contract mirrors the scalar :class:`Semiring` operations exactly
+    — a columnar evaluation (:mod:`repro.eval`) over encoded columns
+    must produce, element by element, the same normalized values the
+    scalar fold would.  Implementations therefore only exist where an
+    exact dtype encoding is possible (integer counts, tropical costs as
+    float64 with exact integer arithmetic below 2**53, booleans);
+    everything else falls back to the generic object-array kernels in
+    :mod:`repro.eval.kernels`, so *every* registered semiring is
+    evaluable.
+
+    ``encode``/``decode`` must be exact inverses on normalized elements:
+    ``decode(encode(values)) == list(values)`` with identical Python
+    types, which is what keeps columnar answers byte-identical to the
+    tuple-at-a-time evaluator's.
+    """
+
+    #: numpy dtype of the annotation column (``None`` → object arrays).
+    dtype: Any = None
+
+    def encode(self, values: Sequence[Any]):
+        """Normalized semiring elements → annotation column array."""
+        raise NotImplementedError
+
+    def decode(self, array) -> list:
+        """Annotation column array → list of normalized elements."""
+        raise NotImplementedError
+
+    def add(self, a, b):
+        """Element-wise ``a ⊕ b`` over two encoded columns."""
+        raise NotImplementedError
+
+    def mul(self, a, b):
+        """Element-wise ``a ⊗ b`` over two encoded columns."""
+        raise NotImplementedError
+
+    def segment_add(self, values, group_ids, group_count: int):
+        """Per-group ``⊕``-fold of ``values``.
+
+        ``group_ids`` is an int64 array assigning each row to a group in
+        ``range(group_count)`` with **every** group populated (the
+        caller derives ids from ``np.unique(..., return_inverse=True)``);
+        returns an encoded column of ``group_count`` aggregates.
+        """
+        raise NotImplementedError
+
+
 class Semiring(ABC):
     """A commutative positive semiring with a decidable partial order.
 
@@ -224,6 +273,15 @@ class Semiring(ABC):
         while len(pool) < size:
             pool.append(self.sample(rng))
         return pool
+
+    def vectorized_ops(self) -> "VectorizedOps | None":
+        """Columnar kernels for this semiring, or ``None``.
+
+        ``None`` (the default) means no exact dtype encoding exists and
+        the columnar evaluator must use its generic object-array
+        fallback, which calls the scalar operations element-wise.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Polynomial order (hook for the small-model procedure, Thm. 4.17)

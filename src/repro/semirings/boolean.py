@@ -47,6 +47,13 @@ class BooleanSemiring(Semiring):
     def sample(self, rng) -> bool:
         return rng.random() < 0.5
 
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import BooleanOps
+        except ImportError:  # numpy unavailable — generic fallback
+            return None
+        return BooleanOps()
+
     def poly_leq(self, p1, p2) -> bool:
         """``P1 ≼B P2`` by exhaustive boolean valuations.
 

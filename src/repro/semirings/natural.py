@@ -54,6 +54,13 @@ class NaturalSemiring(Semiring):
     def sample(self, rng) -> int:
         return rng.choice((0, 0, 1, 1, 1, 2, 2, 3, 5, 7))
 
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import NaturalOps
+        except ImportError:  # numpy unavailable — generic fallback
+            return None
+        return NaturalOps()
+
 
 class SaturatingNaturalSemiring(Semiring):
     """``N_k``: naturals truncated at ``k`` with saturating operations.
@@ -112,6 +119,13 @@ class SaturatingNaturalSemiring(Semiring):
 
     def sample(self, rng) -> int:
         return rng.randint(0, self.cap)
+
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import SaturatingNaturalOps
+        except ImportError:  # numpy unavailable — generic fallback
+            return None
+        return SaturatingNaturalOps(self.cap)
 
     def poly_leq(self, p1, p2) -> bool:
         """Decide ``P1 ≼N_k P2`` by exhaustive valuation over ``{0,…,k}``.

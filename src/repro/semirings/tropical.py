@@ -63,6 +63,13 @@ class TropicalMinPlusSemiring(Semiring):
     def sample(self, rng):
         return rng.choice((math.inf, 0, 0, 1, 1, 2, 3, 5))
 
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import TropicalMinPlusOps
+        except ImportError:  # numpy unavailable — generic fallback
+            return None
+        return TropicalMinPlusOps()
+
     def poly_leq(self, p1, p2) -> bool:
         """The plain (uncached) LP decision; engines route this call
         through their certificate memo via ``poly_order``."""
@@ -107,6 +114,13 @@ class TropicalMaxPlusSemiring(Semiring):
 
     def sample(self, rng):
         return rng.choice((-math.inf, 0, 0, 1, 1, 2, 3, 5))
+
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import TropicalMaxPlusOps
+        except ImportError:  # numpy unavailable — generic fallback
+            return None
+        return TropicalMaxPlusOps()
 
     def poly_leq(self, p1, p2) -> bool:
         """The plain (uncached) LP decision; engines route this call

@@ -73,7 +73,8 @@ SNAPSHOT_VERSION = 1
 
 #: The cache layers a snapshot may carry, in import order.
 _LAYERS = ("classifications", "parsed", "homs", "hom_enums", "covered",
-           "descriptions", "canonical", "poly_orders", "verdicts")
+           "descriptions", "canonical", "poly_orders", "eval_plans",
+           "verdicts")
 
 
 class SnapshotError(ValueError):

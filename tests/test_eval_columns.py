@@ -1,0 +1,182 @@
+"""Unit tests for the columnar storage and kernel layers.
+
+The evaluator's end-to-end agreement is pinned in
+``tests/test_eval_engine.py``; here the building blocks are checked in
+isolation — interning semantics, dtype selection and demotion, exact
+saturating/tropical kernels, and the join primitives.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.instance import Instance
+from repro.eval.columns import ColumnarInstance, ValueInterner
+from repro.eval.join import join_indices, pack_pairs, pack_rows
+from repro.eval.kernels import GenericObjectOps, ops_for
+from repro.semirings import (B, N, N2_SATURATING, N3_SATURATING, TMINUS,
+                             TPLUS, VITERBI, WHY)
+
+
+# -- interning ----------------------------------------------------------
+
+
+def test_interner_round_trip():
+    interner = ValueInterner()
+    values = ["a", 7, ("x", 1), "a", 7]
+    idents = [interner.intern(value) for value in values]
+    assert idents == [0, 1, 2, 0, 1]
+    assert [interner.value(ident) for ident in idents[:3]] == \
+        ["a", 7, ("x", 1)]
+    assert interner.lookup("never") is None
+    assert len(interner) == 3
+
+
+def test_interner_conflates_like_dict_keys():
+    """``1``/``True`` must merge, because Instance's dict rows do."""
+    interner = ValueInterner()
+    assert interner.intern(1) == interner.intern(True)
+    assert interner.intern(0) == interner.intern(False)
+
+
+# -- dtype selection and demotion ---------------------------------------
+
+
+def test_numeric_semirings_get_dtype_kernels():
+    assert ops_for(N).dtype == np.int64
+    assert ops_for(N2_SATURATING).dtype == np.int64
+    assert ops_for(TPLUS).dtype == np.float64
+    assert ops_for(TMINUS).dtype == np.float64
+    assert ops_for(B).dtype == np.bool_
+
+
+def test_symbolic_semirings_fall_back_to_objects():
+    assert isinstance(ops_for(WHY), GenericObjectOps)
+    # Viterbi weights are Fractions: float64 would break byte-identity.
+    assert isinstance(ops_for(VITERBI), GenericObjectOps)
+
+
+def test_overflowing_counts_demote_to_generic():
+    huge = 2 ** 80
+    instance = Instance(N, {"R": {(1,): huge, (2,): 3}})
+    columnar = ColumnarInstance.from_instance(instance)
+    assert isinstance(columnar.ops, GenericObjectOps)
+    assert sorted(columnar.ops.decode(
+        columnar.relations["R"].annotations)) == [3, huge]
+
+
+def test_columnar_instance_encodes_annotations_exactly():
+    # math.inf is T+'s ⊕-zero: Instance drops that fact at construction,
+    # so only the finite costs reach the column store.
+    instance = Instance(TPLUS, {"R": {(1,): 3, (2,): math.inf, (3,): 0}})
+    columnar = ColumnarInstance.from_instance(instance)
+    decoded = columnar.ops.decode(columnar.relations["R"].annotations)
+    assert sorted(decoded) == [0, 3]
+    assert all(type(value) is int for value in decoded)
+
+
+# -- exact kernels ------------------------------------------------------
+
+
+def test_natural_kernels_guard_overflow():
+    ops = ops_for(N)
+    near = np.asarray([2 ** 62], dtype=np.int64)
+    with pytest.raises(OverflowError):
+        ops.add(near, near)
+    with pytest.raises(OverflowError):
+        ops.mul(near, near)
+    with pytest.raises(OverflowError):
+        ops.encode([2 ** 70])
+
+
+def test_saturating_kernels_clip_exactly():
+    ops = ops_for(N3_SATURATING)
+    a = ops.encode([0, 1, 2, 3])
+    assert ops.add(a, a).tolist() == [0, 2, 3, 3]
+    assert ops.mul(a, a).tolist() == [0, 1, 3, 3]
+    # Segment fold: clip-once-of-true-sum equals the iterated clip.
+    values = ops.encode([2, 2, 2, 1])
+    groups = np.asarray([0, 0, 1, 1], dtype=np.int64)
+    folded = ops.segment_add(values, groups, 2).tolist()
+    assert folded == [3, 3]
+    iterated = N3_SATURATING.add(N3_SATURATING.add(2, 2), 2)
+    assert N3_SATURATING.add(2, 2) == folded[0] and iterated == 3
+
+
+def test_tropical_kernels_restore_int_types():
+    ops = ops_for(TPLUS)
+    encoded = ops.encode([3, math.inf, 0])
+    decoded = ops.decode(encoded)
+    assert decoded == [3, math.inf, 0]
+    assert type(decoded[0]) is int and type(decoded[1]) is float
+    groups = np.asarray([0, 0, 1], dtype=np.int64)
+    assert ops.segment_add(encoded, groups, 2).tolist() == [3.0, 0.0]
+
+
+def test_boolean_kernels():
+    ops = ops_for(B)
+    a = ops.encode([True, False, True])
+    b = ops.encode([False, False, True])
+    assert ops.add(a, b).tolist() == [True, False, True]
+    assert ops.mul(a, b).tolist() == [False, False, True]
+    groups = np.asarray([0, 0, 1], dtype=np.int64)
+    assert ops.segment_add(b, groups, 2).tolist() == [False, True]
+    assert all(type(value) is bool for value in ops.decode(a))
+
+
+def test_generic_segment_add_replays_reference_accumulation():
+    import random
+
+    rng = random.Random(0)
+    ops = GenericObjectOps(WHY)
+    values = [WHY.sample(rng) for _ in range(3)]
+    encoded = ops.encode(values)
+    groups = np.asarray([0, 1, 0], dtype=np.int64)
+    folded = ops.decode(ops.segment_add(encoded, groups, 2))
+    assert folded[0] == WHY.add(values[0], values[2])
+    assert folded[1] == values[1]
+
+
+# -- join primitives ----------------------------------------------------
+
+
+def test_pack_rows_keys_equal_iff_rows_equal():
+    columns = [np.asarray([1, 1, 2, 1], dtype=np.int64),
+               np.asarray([5, 5, 5, 6], dtype=np.int64)]
+    key = pack_rows(columns, 4)
+    assert key[0] == key[1]
+    assert len({int(key[0]), int(key[2]), int(key[3])}) == 3
+
+
+def test_pack_pairs_is_consistent_across_sides():
+    left = [np.asarray([10, 20, 30], dtype=np.int64)]
+    right = [np.asarray([30, 10, 40], dtype=np.int64)]
+    left_key, right_key = pack_pairs(left, right)
+    assert left_key[0] == right_key[1]
+    assert left_key[2] == right_key[0]
+    assert right_key[2] not in set(left_key.tolist())
+
+
+def test_join_indices_match_nested_loop():
+    left = np.asarray([1, 2, 2, 3], dtype=np.int64)
+    right = np.asarray([2, 3, 4, 2], dtype=np.int64)
+    li, ri = join_indices(left, right)
+    pairs = sorted(zip(li.tolist(), ri.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, lv in enumerate(left.tolist())
+        for j, rv in enumerate(right.tolist())
+        if lv == rv
+    )
+    assert pairs == expected
+
+
+def test_join_indices_empty_sides():
+    empty = np.zeros(0, dtype=np.int64)
+    some = np.asarray([1, 2], dtype=np.int64)
+    for left, right in ((empty, some), (some, empty), (empty, empty)):
+        li, ri = join_indices(left, right)
+        assert len(li) == 0 and len(ri) == 0
