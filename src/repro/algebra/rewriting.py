@@ -51,11 +51,14 @@ class RewriteCheck:
 
 
 def check_rewrite(original: RAExpression, rewritten: RAExpression,
-                  semiring) -> RewriteCheck:
+                  semiring, *, context=None) -> RewriteCheck:
     """Certify an algebra rewrite under an annotation semiring.
 
     Both expressions are compiled to UCQs and compared in both
     directions with the class-appropriate decision procedure.
+    ``context`` threads a :class:`~repro.core.context.DecisionContext`
+    into both directions, so the backward check replays the forward
+    check's homomorphism searches (pass ``engine.context``).
     """
     if original.attributes != rewritten.attributes:
         raise ValueError(
@@ -65,6 +68,6 @@ def check_rewrite(original: RAExpression, rewritten: RAExpression,
     q2 = rewritten.to_ucq()
     return RewriteCheck(
         semiring_name=semiring.name,
-        forward=decide_ucq_containment(q1, q2, semiring),
-        backward=decide_ucq_containment(q2, q1, semiring),
+        forward=decide_ucq_containment(q1, q2, semiring, context=context),
+        backward=decide_ucq_containment(q2, q1, semiring, context=context),
     )

@@ -30,8 +30,14 @@ the engine detects the bump and drops its semiring-dependent caches
 covered atoms, descriptions, canonical forms, polynomial-order certificates — only
 mention queries and polynomials and survive.
 
-``docs/ARCHITECTURE.md`` documents every cache layer (key shape,
-eviction, snapshot behavior) and the invariants a new layer must keep.
+Every cache layer is declared exactly once, in
+:data:`repro.api.layers.CACHE_LAYERS`; this module *derives*
+``cache_info``/``cache_stats``/``clear_caches`` and the snapshot
+export/import payload from that registry, and the ``RL002`` lint rule
+cross-checks it against the code, so an undeclared (or phantom) layer
+fails ``repro lint``.  ``docs/ARCHITECTURE.md`` documents every layer
+(key shape, eviction, snapshot behavior) and the invariants a new
+layer must keep.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from ..queries.parser import parse_cq
 from ..semirings.base import Semiring
 from ..semirings.registry import DEFAULT_REGISTRY, SemiringRegistry
 from .documents import ContainmentRequest, VerdictDocument, _coerce_query
+from .layers import CACHE_LAYERS
 
 __all__ = ["CachingDecisionContext", "ContainmentEngine", "EngineStats",
            "stats_report"]
@@ -105,21 +112,13 @@ class EngineStats:
 
 
 #: ``layer name → (hits counter, calls counter, entries counter)`` —
-#: the schema :func:`stats_report` reads out of a ``cache_info()`` dict.
-_LAYER_COUNTERS = (
-    ("classifications", "classify_hits", "classify_calls",
-     "classification_entries"),
-    ("parsed", "parse_hits", "parse_calls", "parsed_entries"),
-    ("homs", "hom_hits", "hom_calls", "hom_entries"),
-    ("hom_enums", "hom_enum_hits", "hom_enum_calls", "hom_enum_entries"),
-    ("covered", "cover_hits", "cover_calls", "cover_entries"),
-    ("descriptions", "description_hits", "description_calls",
-     "description_entries"),
-    ("canonical", "canon_hits", "canon_calls", "canon_entries"),
-    ("poly_orders", "poly_hits", "poly_calls", "poly_entries"),
-    ("eval_plans", "eval_plan_hits", "eval_plan_calls",
-     "eval_plan_entries"),
-)
+#: the schema :func:`stats_report` reads out of a ``cache_info()`` dict,
+#: derived from the one cache-layer registry.  The verdict layer is the
+#: only one excluded (``calls is None``): its computation count is
+#: derived as ``decisions - verdict_hits`` below.
+_LAYER_COUNTERS = tuple(
+    (layer.name, layer.hits, layer.calls, layer.entries)
+    for layer in CACHE_LAYERS if layer.calls is not None)
 
 
 def stats_report(info: Mapping[str, int]) -> dict:
@@ -275,6 +274,18 @@ class ContainmentEngine:
         self._verdicts = _LRU(verdict_cache_size)
         self._context = CachingDecisionContext(self)
         self._registry_version = self.registry.version
+
+    @property
+    def context(self) -> DecisionContext:
+        """This engine's caching :class:`DecisionContext`.
+
+        Thread it (``context=engine.context``) into direct calls of the
+        decision and optimization primitives — ``explain``,
+        ``minimize_cq``, ``check_rewrite`` and friends — so their inner
+        containment checks share this engine's caches instead of
+        recomputing from cold.
+        """
+        return self._context
 
     # -- registry -------------------------------------------------------
 
@@ -601,18 +612,8 @@ class ContainmentEngine:
         """Current cache sizes plus the stat counters (flat integers —
         summable across workers; see :func:`stats_report` for ratios)."""
         info = self.stats.as_dict()
-        info.update(
-            classification_entries=len(self._classifications),
-            parsed_entries=len(self._parsed),
-            hom_entries=len(self._homs),
-            hom_enum_entries=len(self._hom_enums),
-            cover_entries=len(self._covered),
-            description_entries=len(self._descriptions),
-            canon_entries=len(self._canon),
-            poly_entries=len(self._poly_orders),
-            eval_plan_entries=len(self._eval_plans),
-            verdict_entries=len(self._verdicts),
-        )
+        for layer in CACHE_LAYERS:
+            info[layer.entries] = len(getattr(self, layer.attr))
         return info
 
     def cache_stats(self) -> dict:
@@ -626,16 +627,8 @@ class ContainmentEngine:
 
     def clear_caches(self) -> None:
         """Drop every cache layer (stats counters are kept)."""
-        self._classifications.clear()
-        self._parsed.clear()
-        self._homs.clear()
-        self._hom_enums.clear()
-        self._covered.clear()
-        self._descriptions.clear()
-        self._canon.clear()
-        self._poly_orders.clear()
-        self._eval_plans.clear()
-        self._verdicts.clear()
+        for layer in CACHE_LAYERS:
+            getattr(self, layer.attr).clear()
 
     # -- snapshot hooks --------------------------------------------------
 
@@ -660,30 +653,30 @@ class ContainmentEngine:
         cold runs (a restored verdict layer answers with
         ``cached: true``).
         """
-        names = {id(semiring): semiring.name for semiring in self.registry}
+        # The ``id()`` keys below never leave the process: they only
+        # re-key live semiring instances by registry name while the
+        # export payload is being built.
+        names = {id(semiring): semiring.name  # repro-lint: disable=RL004
+                 for semiring in self.registry}
+        state: dict[str, list] = {}
+        for layer in CACHE_LAYERS:
+            if not layer.keyed_by_semiring:
+                state[layer.name] = getattr(self, layer.attr).items()
+        classifications = []
+        for semiring, classification in self._classifications.items():
+            name = names.get(id(semiring))  # repro-lint: disable=RL004
+            if name is not None:
+                classifications.append((name, classification))
+        state["classifications"] = classifications
         verdicts = []
         if include_verdicts:
             for (semiring, q1, q2, equivalence), document \
                     in self._verdicts.items():
-                name = names.get(id(semiring))
+                name = names.get(id(semiring))  # repro-lint: disable=RL004
                 if name is not None:
                     verdicts.append(((name, q1, q2, equivalence), document))
-        return {
-            "classifications": [
-                (names[id(semiring)], classification)
-                for semiring, classification in self._classifications.items()
-                if id(semiring) in names
-            ],
-            "parsed": self._parsed.items(),
-            "homs": self._homs.items(),
-            "hom_enums": self._hom_enums.items(),
-            "covered": self._covered.items(),
-            "descriptions": self._descriptions.items(),
-            "canonical": self._canon.items(),
-            "poly_orders": self._poly_orders.items(),
-            "eval_plans": self._eval_plans.items(),
-            "verdicts": verdicts,
-        }
+        state["verdicts"] = verdicts
+        return state
 
     def import_caches(self, state: Mapping[str, Any]) -> dict[str, int]:
         """Install exported cache entries; returns per-layer counts.
@@ -705,19 +698,15 @@ class ContainmentEngine:
                 self._classifications[semiring] = classification
                 restored += 1
         counts["classifications"] = restored
-        for layer, lru in (("parsed", self._parsed),
-                           ("homs", self._homs),
-                           ("hom_enums", self._hom_enums),
-                           ("covered", self._covered),
-                           ("descriptions", self._descriptions),
-                           ("canonical", self._canon),
-                           ("poly_orders", self._poly_orders),
-                           ("eval_plans", self._eval_plans)):
+        for layer in CACHE_LAYERS:
+            if layer.keyed_by_semiring:
+                continue
+            lru = getattr(self, layer.attr)
             restored = 0
-            for key, value in state.get(layer, ()):
+            for key, value in state.get(layer.name, ()):
                 lru.put(key, value)
                 restored += 1
-            counts[layer] = restored
+            counts[layer.name] = restored
         restored = 0
         for (name, q1, q2, equivalence), document \
                 in state.get("verdicts", ()):

@@ -1,0 +1,110 @@
+"""The engine cache-layer registry — one declaration, many consumers.
+
+Every cache layer of :class:`repro.api.engine.ContainmentEngine` used
+to be listed in five places (engine ``__init__``, ``cache_info``,
+``export_caches``/``import_caches``, the snapshot ``_LAYERS`` tuple and
+the stats-report counter table), and forgetting one of them was a
+silent cache-coherence bug — an unexported layer simply never warmed
+up across processes.  This module is the single source of truth:
+
+* the engine derives ``cache_info``, ``cache_stats``, ``clear_caches``
+  and the export/import payload from :data:`CACHE_LAYERS`;
+* :mod:`repro.service.snapshot` imports :data:`SNAPSHOT_LAYERS` as its
+  envelope schema (and :func:`~repro.service.snapshot.merge_states`,
+  which the :class:`~repro.service.pool.WorkerPool` cache merge goes
+  through, iterates the same tuple);
+* the ``RL002`` rule of :mod:`repro.lint` cross-checks the registry
+  against the engine/snapshot sources, so a layer added in code but
+  not declared here (or declared but never created) fails ``repro
+  lint`` instead of shipping.
+
+The declaration must stay a *literal* tuple of keyword-argument
+:class:`CacheLayer` calls: the linter reads it from the AST, without
+importing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLayer", "CACHE_LAYERS", "SNAPSHOT_LAYERS"]
+
+
+@dataclass(frozen=True)
+class CacheLayer:
+    """One engine cache layer and every name the runtime derives from it.
+
+    ``name``
+        The layer's export/snapshot key (``export_caches`` payload,
+        snapshot envelope, ``cache_stats`` report).
+    ``attr``
+        The :class:`~repro.api.engine.ContainmentEngine` attribute
+        holding the store.
+    ``hits`` / ``calls``
+        The :class:`~repro.api.engine.EngineStats` counter fields for
+        recalls and actual computations.  ``calls`` is ``None`` only
+        for the verdict layer, whose computation count is derived
+        (``decisions - verdict_hits``) in ``stats_report``.
+    ``entries``
+        The ``cache_info()`` key reporting the store's current size.
+    ``kind``
+        ``"lru"`` for :class:`~repro.api.engine._LRU` stores, ``"dict"``
+        for the unbounded classification map.
+    ``keyed_by_semiring``
+        True for layers whose keys mention semiring *instances* and
+        must be re-keyed by canonical registry name on export (the
+        classification and verdict layers); the structural layers
+        export their entries verbatim.
+    """
+
+    name: str
+    attr: str
+    hits: str
+    calls: str | None
+    entries: str
+    kind: str = "lru"
+    keyed_by_semiring: bool = False
+
+
+#: Every cache layer of the engine, in snapshot-envelope order
+#: (classifications first so restored semiring lookups are warm before
+#: the structural layers land; verdicts last because they are optional).
+CACHE_LAYERS: tuple[CacheLayer, ...] = (
+    CacheLayer(name="classifications", attr="_classifications",
+               hits="classify_hits", calls="classify_calls",
+               entries="classification_entries", kind="dict",
+               keyed_by_semiring=True),
+    CacheLayer(name="parsed", attr="_parsed",
+               hits="parse_hits", calls="parse_calls",
+               entries="parsed_entries"),
+    CacheLayer(name="homs", attr="_homs",
+               hits="hom_hits", calls="hom_calls",
+               entries="hom_entries"),
+    CacheLayer(name="hom_enums", attr="_hom_enums",
+               hits="hom_enum_hits", calls="hom_enum_calls",
+               entries="hom_enum_entries"),
+    CacheLayer(name="covered", attr="_covered",
+               hits="cover_hits", calls="cover_calls",
+               entries="cover_entries"),
+    CacheLayer(name="descriptions", attr="_descriptions",
+               hits="description_hits", calls="description_calls",
+               entries="description_entries"),
+    CacheLayer(name="canonical", attr="_canon",
+               hits="canon_hits", calls="canon_calls",
+               entries="canon_entries"),
+    CacheLayer(name="poly_orders", attr="_poly_orders",
+               hits="poly_hits", calls="poly_calls",
+               entries="poly_entries"),
+    CacheLayer(name="eval_plans", attr="_eval_plans",
+               hits="eval_plan_hits", calls="eval_plan_calls",
+               entries="eval_plan_entries"),
+    CacheLayer(name="verdicts", attr="_verdicts",
+               hits="verdict_hits", calls=None,
+               entries="verdict_entries",
+               keyed_by_semiring=True),
+)
+
+#: The snapshot envelope's layer names, in import order — consumed by
+#: :mod:`repro.service.snapshot` (and through it the pool cache merge).
+SNAPSHOT_LAYERS: tuple[str, ...] = tuple(
+    layer.name for layer in CACHE_LAYERS)

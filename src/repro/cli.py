@@ -112,7 +112,8 @@ def _explain_contain(engine: ContainmentEngine, args):
     return explain(
         q1[0] if singletons else UCQ(tuple(q1)),
         q2[0] if singletons else UCQ(tuple(q2)),
-        engine.semiring(args.semiring))
+        engine.semiring(args.semiring),
+        context=engine.context)
 
 
 def _cmd_contain(args) -> int:
@@ -290,7 +291,7 @@ def _cmd_minimize(args) -> int:
     engine = args.engine
     semiring = engine.semiring(args.semiring)
     query = engine.parse(args.query)
-    result = minimize_cq(query, semiring)
+    result = minimize_cq(query, semiring, context=engine.context)
     print(f"input:     {query}")
     print(f"minimized: {result.query}")
     print(f"removed {result.removed} atom(s) under {semiring.name}")
@@ -356,6 +357,17 @@ def _cmd_eval(args) -> int:
     for head, annotation in rows:
         print(f"  {head} ↦ {annotation!r}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import render_json, render_text, run_lint
+
+    report = run_lint(args.paths or None)
+    if args.json:
+        print(json.dumps(render_json(report), ensure_ascii=False))
+    else:
+        print(render_text(report))
+    return report.exit_code
 
 
 def _cmd_falsify(args) -> int:
@@ -497,6 +509,15 @@ def build_parser() -> argparse.ArgumentParser:
     eval_cmd.add_argument("--json", action="store_true",
                           help="print the answer table as JSON")
     eval_cmd.set_defaults(func=_cmd_eval)
+
+    lint = commands.add_parser(
+        "lint", help="run the project invariant checker (RL001–RL005)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    lint.set_defaults(func=_cmd_lint)
 
     falsify = commands.add_parser(
         "falsify", help="probe the necessary-class axioms of a semiring")

@@ -27,7 +27,6 @@ the paper describes.
 from __future__ import annotations
 
 import math
-from typing import Any
 
 from ..homomorphisms.covering import covers
 from ..homomorphisms.search import HomKind
@@ -36,7 +35,7 @@ from ..homomorphisms.ucq_conditions import (bi_count_infty, bi_count_k,
                                             local_condition, sur_infty)
 from ..queries.cq import CQ
 from ..queries.ucq import UCQ, as_ucq
-from .classes import Classification, classify
+from .classes import Classification
 from .context import DEFAULT_CONTEXT, DecisionContext
 from .small_model import small_model_contained
 from .verdict import Verdict

@@ -79,6 +79,8 @@ class DecisionContext:
     def covered_atoms(self, source, target) -> frozenset:
         """The target atoms reached by some homomorphic image
         (:func:`repro.homomorphisms.covered_atoms`)."""
+        # The base context IS the computation — threading itself back
+        # in would recurse forever.  # repro-lint: disable=RL001
         return covered_atoms(source, target)
 
     def covers(self, source, target) -> bool:

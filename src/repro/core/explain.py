@@ -13,7 +13,6 @@ from typing import Any
 
 from ..homomorphisms.search import HomKind
 from ..oracle.brute_force import Counterexample, find_counterexample
-from ..queries.atoms import is_var
 from ..queries.cq import CQ
 from .containment import decide_cq_containment, decide_ucq_containment
 from .verdict import Verdict
@@ -95,12 +94,18 @@ class Explanation:
         return f"undecided [{self.verdict.explanation}]"
 
 
-def explain(q1, q2, semiring, witness_budget: int = 1500) -> Explanation:
-    """Decide ``Q1 ⊆K Q2`` and attach checkable evidence."""
+def explain(q1, q2, semiring, witness_budget: int = 1500, *,
+            context=None) -> Explanation:
+    """Decide ``Q1 ⊆K Q2`` and attach checkable evidence.
+
+    ``context`` threads a :class:`~repro.core.context.DecisionContext`
+    into the decision (pass ``engine.context`` so the explanation
+    reuses — and warms — an engine's caches).
+    """
     if isinstance(q1, CQ) and isinstance(q2, CQ):
-        verdict = decide_cq_containment(q1, q2, semiring)
+        verdict = decide_cq_containment(q1, q2, semiring, context=context)
     else:
-        verdict = decide_ucq_containment(q1, q2, semiring)
+        verdict = decide_ucq_containment(q1, q2, semiring, context=context)
     certificate_valid = None
     if (verdict.result is True and verdict.certificate is not None
             and verdict.method in _METHOD_KINDS

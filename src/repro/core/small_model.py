@@ -27,9 +27,8 @@ from typing import Iterator
 
 from ..data.canonical import canonical_instance
 from ..queries.ccq import CQWithInequalities, complete_description
-from ..queries.cq import CQ
 from ..queries.evaluation import evaluate
-from ..queries.ucq import UCQ, as_ucq
+from ..queries.ucq import as_ucq
 
 __all__ = ["small_model_contained", "small_model_tests"]
 

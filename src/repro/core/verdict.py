@@ -9,7 +9,7 @@ known necessary and sufficient conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["Verdict", "Undecided"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..polynomials.polynomial import Polynomial
-from ..queries.atoms import Atom, is_var
+from ..queries.atoms import Atom
 from ..queries.cq import CQ
 from .instance import Instance
 

@@ -25,8 +25,6 @@ doing the same.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from ..queries.atoms import Var

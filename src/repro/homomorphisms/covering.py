@@ -49,4 +49,5 @@ def covers(source: CQ, target: CQ, *, context=None) -> bool:
     """
     if context is not None:
         return context.covers(source, target)
-    return len(covered_atoms(source, target)) == len(set(target.atoms))
+    return len(covered_atoms(source, target,
+                             context=context)) == len(set(target.atoms))

@@ -1,0 +1,23 @@
+"""``repro.lint`` — the project's AST-based invariant checker.
+
+The conventions the engine's correctness and warm-path performance
+rest on (context threading, the single cache-layer registry, semiring
+declaration coherence, determinism discipline, pickle-boundary safety)
+are machine-enforced here rather than by review.  Run it as::
+
+    python -m repro lint            # self-check the installed package
+    python -m repro lint --json     # machine-readable report
+    python -m repro lint PATH ...   # lint specific files/directories
+
+Exit code 0 means clean; 1 means findings (CI gates on this).  See
+:mod:`repro.lint.rules` for the rule catalogue (RL001–RL005) and the
+README's "Static analysis" section for the pragma syntax.
+"""
+
+from .model import Finding, Project, RULES, Rule, SourceFile
+from .report import LintReport, render_json, render_text
+from .runner import collect_project, default_target, run_lint
+
+__all__ = ["Finding", "LintReport", "Project", "RULES", "Rule",
+           "SourceFile", "collect_project", "default_target",
+           "render_json", "render_text", "run_lint"]

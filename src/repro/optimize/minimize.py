@@ -57,13 +57,19 @@ def _atom_deletions(query: CQ):
             yield CQ(query.head, remaining)
 
 
-def minimize_cq(query: CQ, semiring) -> MinimizationResult:
+def minimize_cq(query: CQ, semiring, *,
+                context=None) -> MinimizationResult:
     """Greedily delete atoms while ``K``-equivalence is certain.
 
     Only deletions whose equivalence the Table-1 procedures *decide*
     positively are applied, so the result is always ``K``-equivalent to
     the input — for semirings with undecided fragments (e.g. bag
     semantics) the minimization is sound but may be conservative.
+
+    ``context`` threads a :class:`~repro.core.context.DecisionContext`
+    into every equivalence check; pass an engine's caching context
+    (``engine.context``) so the quadratically many candidate checks
+    share homomorphism searches.
     """
     current = query
     steps = [query]
@@ -71,7 +77,8 @@ def minimize_cq(query: CQ, semiring) -> MinimizationResult:
     while changed:
         changed = False
         for candidate in _atom_deletions(current):
-            verdict = k_equivalent(current, candidate, semiring)
+            verdict = k_equivalent(current, candidate, semiring,
+                                   context=context)
             if verdict.result is True:
                 current = candidate
                 steps.append(candidate)

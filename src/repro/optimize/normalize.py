@@ -27,21 +27,28 @@ from .redundancy import eliminate_redundant_members
 __all__ = ["normalize_ucq", "normalize_cq"]
 
 
-def normalize_cq(query, semiring):
-    """Minimize one CQ under ``K`` and rename it canonically."""
-    minimized = minimize_cq(query, semiring).query
+def normalize_cq(query, semiring, *, context=None):
+    """Minimize one CQ under ``K`` and rename it canonically.
+
+    ``context`` is threaded into the minimization's equivalence checks
+    (pass ``engine.context`` to reuse an engine's caches).
+    """
+    minimized = minimize_cq(query, semiring, context=context).query
     return canonical_rename(minimized)
 
 
-def normalize_ucq(query, semiring) -> UCQ:
+def normalize_ucq(query, semiring, *, context=None) -> UCQ:
     """The ``K``-normal form of a UCQ.
 
     Pipeline: minimize each member, drop provably redundant members,
     rename every member canonically (the UCQ constructor then sorts
-    members deterministically).
+    members deterministically).  ``context`` is threaded into every
+    certified step.
     """
     union = as_ucq(query)
     minimized = UCQ(tuple(
-        minimize_cq(member, semiring).query for member in union))
-    reduced = eliminate_redundant_members(minimized, semiring).query
+        minimize_cq(member, semiring, context=context).query
+        for member in union))
+    reduced = eliminate_redundant_members(minimized, semiring,
+                                          context=context).query
     return UCQ(tuple(canonical_rename(member) for member in reduced))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.containment import decide_ucq_containment, k_equivalent
+from ..core.containment import k_equivalent
 from ..queries.ucq import UCQ, as_ucq
 
 __all__ = ["RedundancyResult", "eliminate_redundant_members"]
@@ -38,14 +38,17 @@ class RedundancyResult:
         return not self.removed
 
 
-def eliminate_redundant_members(query, semiring) -> RedundancyResult:
+def eliminate_redundant_members(query, semiring, *,
+                                context=None) -> RedundancyResult:
     """Drop members whose removal is *provably* ``K``-equivalence
     preserving.
 
     Each candidate removal is certified with
     :func:`~repro.core.containment.k_equivalent`; undecided verdicts
     keep the member (sound, possibly conservative — exactly the honest
-    behaviour for bag semantics).
+    behaviour for bag semantics).  ``context`` threads a
+    :class:`~repro.core.context.DecisionContext` into every check so
+    engine callers reuse their caches.
     """
     original = as_ucq(query)
     current = original
@@ -56,7 +59,8 @@ def eliminate_redundant_members(query, semiring) -> RedundancyResult:
         members = current.cqs
         for index in range(len(members)):
             candidate = UCQ(members[:index] + members[index + 1:])
-            verdict = k_equivalent(current, candidate, semiring)
+            verdict = k_equivalent(current, candidate, semiring,
+                                   context=context)
             if verdict.result is True:
                 removed.append(members[index])
                 current = candidate

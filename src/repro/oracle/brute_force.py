@@ -29,7 +29,6 @@ from typing import Any, Iterator
 from ..data.canonical import canonical_instance
 from ..data.instance import Instance
 from ..queries.ccq import complete_description
-from ..queries.cq import CQ
 from ..queries.evaluation import evaluate_all
 from ..queries.ucq import UCQ, as_ucq
 

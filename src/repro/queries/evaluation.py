@@ -15,7 +15,7 @@ its members; the empty UCQ evaluates to ``0``.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator
 
 from ..data.instance import Instance
 from .atoms import is_var

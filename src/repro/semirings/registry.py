@@ -17,26 +17,24 @@ from __future__ import annotations
 import difflib
 from typing import Iterable, Iterator, Mapping
 
-from .absorptive import SORP, AbsorptivePolynomialSemiring
-from .access import ACCESS, AccessControlSemiring
+from .absorptive import SORP
+from .access import ACCESS
 from .base import Semiring
-from .boolean import B, BooleanSemiring
-from .fuzzy import FUZZY, FuzzySemiring
-from .lineage import LIN, LineageSemiring
-from .lukasiewicz import LUKASIEWICZ, LukasiewiczSemiring
-from .natural import (N, N2_SATURATING, N3_SATURATING,
-                      NaturalSemiring, SaturatingNaturalSemiring)
-from .posbool import POSBOOL, PosBoolSemiring
-from .probability import EVENTS, EventSemiring
-from .product import LIN_X_N2, ProductSemiring
-from .provenance import BX, N2X, N3X, NX, ProvenancePolynomialSemiring
-from .rationals import RPLUS, NonNegativeRationalSemiring
-from .ssur_free import SSUR, SsurFreeSemiring
-from .trio import TRIO, TrioSemiring
-from .tropical import (TMINUS, TPLUS, TropicalMaxPlusSemiring,
-                       TropicalMinPlusSemiring)
-from .viterbi import VITERBI, ViterbiSemiring
-from .why import WHY, WhySemiring
+from .boolean import B
+from .fuzzy import FUZZY
+from .lineage import LIN
+from .lukasiewicz import LUKASIEWICZ
+from .natural import N, N2_SATURATING, N3_SATURATING
+from .posbool import POSBOOL
+from .probability import EVENTS
+from .product import LIN_X_N2
+from .provenance import BX, N2X, N3X, NX
+from .rationals import RPLUS
+from .ssur_free import SSUR
+from .trio import TRIO
+from .tropical import TMINUS, TPLUS
+from .viterbi import VITERBI
+from .why import WHY
 
 __all__ = ["ALL_SEMIRINGS", "DEFAULT_REGISTRY", "SemiringRegistry",
            "get_semiring"]

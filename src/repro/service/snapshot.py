@@ -63,6 +63,7 @@ import tempfile
 from typing import Any, Mapping
 
 from ..api.engine import ContainmentEngine
+from ..api.layers import SNAPSHOT_LAYERS as _LAYERS
 
 __all__ = ["SNAPSHOT_MAGIC", "SNAPSHOT_VERSION", "SnapshotError",
            "load_snapshot", "merge_states", "read_snapshot",
@@ -71,10 +72,9 @@ __all__ = ["SNAPSHOT_MAGIC", "SNAPSHOT_VERSION", "SnapshotError",
 SNAPSHOT_MAGIC = "repro.engine-snapshot"
 SNAPSHOT_VERSION = 1
 
-#: The cache layers a snapshot may carry, in import order.
-_LAYERS = ("classifications", "parsed", "homs", "hom_enums", "covered",
-           "descriptions", "canonical", "poly_orders", "eval_plans",
-           "verdicts")
+# The cache layers a snapshot may carry, in import order, come from the
+# one cache-layer registry (repro.api.layers) — never re-list them here
+# (RL002 flags a literal copy as a drift hazard).
 
 
 class SnapshotError(ValueError):

@@ -1,11 +1,17 @@
-"""Randomized cross-validation: every decision procedure against the
-semantic oracle, and the procedures against each other.
+"""The oracle surface's single home: cross-validation of every
+decision procedure against the semantic oracle, plus the oracle's own
+API (``cross_validate``, ``hunt_counterexample``, ``combined_schema``).
 
-This is the reproduction's strongest evidence: for each semiring with
-an exact Table-1 characterization, the syntactic decision must never be
-refuted semantically (soundness), and every refusal must be witnessed
-by a concrete annotated instance (completeness — the witnesses live on
-canonical instances, as the paper's proofs construct them).
+Part 1 (randomized cross-validation) is the reproduction's strongest
+evidence: for each semiring with an exact Table-1 characterization,
+the syntactic decision must never be refuted semantically (soundness),
+and every refusal must be witnessed by a concrete annotated instance
+(completeness — the witnesses live on canonical instances, as the
+paper's proofs construct them).  Part 2 exercises the oracle entry
+points themselves: the numeric-vs-symbolic agreement report, the
+columnar counterexample hunt, and the merged-schema derivation that
+keeps refutation search non-vacuous.  (Formerly split across
+``test_cross_validation.py`` and ``test_cross_validate.py``.)
 """
 
 from __future__ import annotations
@@ -15,10 +21,16 @@ import random
 import pytest
 
 from repro.core import classify, decide_cq_containment, decide_ucq_containment
-from repro.oracle import find_counterexample
+from repro.oracle import (combined_schema, cross_validate,
+                          find_counterexample, hunt_counterexample,
+                          random_annotated_instance)
 from repro.queries.generators import random_cq, random_ucq
-from repro.semirings import (B, BX, LIN, LIN_X_N2, N2X, N3X, NX, POSBOOL,
+from repro.queries.parser import parse_cq
+from repro.queries.ucq import UCQ, as_ucq
+from repro.semirings import (B, BX, LIN, LIN_X_N2, N, N2X, N3X, NX, POSBOOL,
                              SORP, SSUR, TMINUS, TPLUS, TRIO, WHY)
+
+# -- Part 1: randomized decision-vs-oracle cross-validation -------------
 
 CQ_SEMIRINGS = [B, POSBOOL, LIN, SORP, WHY, TRIO, SSUR, NX, BX, N2X, TPLUS,
                 TMINUS]
@@ -124,7 +136,96 @@ def test_union_monotonicity_c4():
 def test_cq_and_singleton_ucq_agree():
     for K in (B, LIN, SORP, WHY, NX, TPLUS):
         for q1, q2 in _cq_problems(99, 12):
-            from repro.queries import UCQ
             cq_verdict = decide_cq_containment(q1, q2, K)
             ucq_verdict = decide_ucq_containment(UCQ((q1,)), UCQ((q2,)), K)
             assert cq_verdict.result == ucq_verdict.result, (K.name, q1, q2)
+
+
+# -- Part 2: the oracle API (cross_validate / hunt / schema) ------------
+
+
+PROJ = parse_cq("Q(x) :- R(x, y)")
+DIAG = parse_cq("Q(x) :- R(x, x)")
+
+
+def test_cross_validate_agrees_numeric_and_symbolic():
+    query = parse_cq("Q(x, y) :- R(x, z), R(z, y)")
+    for semiring in (N, TPLUS, WHY):
+        report = cross_validate(query, semiring, trials=10)
+        assert report.agreed, report.mismatches
+        assert report.trials == 10
+        assert report.facts > 0
+
+
+def test_cross_validate_is_seeded():
+    query = parse_cq("Q(x) :- R(x, y)")
+    a = cross_validate(query, N, trials=5, seed=99)
+    b = cross_validate(query, N, trials=5, seed=99)
+    assert a.facts == b.facts
+
+
+def test_hunt_finds_witness_for_non_containment():
+    # Q(x):-R(x,y) ⊄ Q(x):-R(x,x) in any naturally ordered semiring:
+    # a single off-diagonal fact gives lhs > 0 = rhs.
+    witness = hunt_counterexample(PROJ, DIAG, N, rounds=5,
+                                  domain_size=4, facts_per_relation=12)
+    assert witness is not None
+    assert witness.source == "columnar-hunt"
+    # The witness is re-verified tuple-at-a-time before being returned,
+    # so its recorded values must genuinely violate the order.
+    assert not N.leq(witness.lhs, witness.rhs)
+
+
+def test_hunt_respects_containment():
+    # Q(x):-R(x,x) ⊆ Q(x):-R(x,y) holds over B (hom exists).
+    assert hunt_counterexample(DIAG, PROJ, B, rounds=3,
+                               domain_size=3,
+                               facts_per_relation=10) is None
+
+
+def test_hunt_empty_lhs():
+    empty = UCQ(())
+    assert hunt_counterexample(empty, PROJ, N, rounds=1) is None
+
+
+def test_hunt_agrees_with_brute_force_direction():
+    """When brute force refutes, the scaled hunt refutes too."""
+    brute = find_counterexample(PROJ, DIAG, N)
+    assert brute is not None
+    hunted = hunt_counterexample(PROJ, DIAG, N, rounds=5,
+                                 domain_size=3, facts_per_relation=6)
+    assert hunted is not None
+
+
+def test_combined_schema_merges_both_queries():
+    q1 = as_ucq(parse_cq("Q(x) :- R(x, y)"))
+    q2 = as_ucq(parse_cq("Q(x) :- R(x, y), S(y, y, x)"))
+    schema = combined_schema(q1, q2)
+    assert schema == {"R": 2, "S": 3}
+    # The regression scenario: random instances must populate
+    # relations that only Q2 mentions, otherwise Q2 always evaluates
+    # to zero and refutation search is vacuous.
+    rng = random.Random(3)
+    instance = random_annotated_instance(schema, N, rng,
+                                         facts_per_relation=6)
+    assert "S" in instance.relations() or instance.fact_count() == 0
+
+
+def test_combined_schema_rejects_arity_conflicts():
+    q1 = as_ucq(parse_cq("Q(x) :- R(x, y)"))
+    q2 = as_ucq(parse_cq("Q(x) :- R(x, y, z)"))
+    with pytest.raises(ValueError, match="arity"):
+        combined_schema(q1, q2)
+
+
+def test_random_instances_cover_q2_only_relations():
+    """find_counterexample must exercise Q2-only relations.
+
+    Q1's schema alone would leave T unpopulated, making
+    ``Q(x):-R(x,y)`` look contained in ``Q(x):-R(x,y),T(x)`` refutable
+    only through the merged schema.
+    """
+    q1 = parse_cq("Q(x) :- R(x, y)")
+    q2 = parse_cq("Q(x) :- R(x, y), T(x)")
+    witness = find_counterexample(q1, q2, B)
+    assert witness is not None

@@ -1,0 +1,543 @@
+"""Tests for ``repro.lint`` — the project invariant checker.
+
+Each rule gets a pair of fixtures: a seeded violation it must fire on
+and the clean idiom it must stay silent on.  Fixtures are written as
+miniature ``repro`` package trees under ``tmp_path`` — the linter is a
+pure AST pass and never imports them, so they cannot collide with the
+real installed package.  On top of the per-rule pairs: pragma
+suppression, the JSON reporter schema, CLI exit codes, and the
+self-check that the repository's own tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import render_json, run_lint
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> Path:
+    """Materialize a mini ``repro`` package tree; returns its root."""
+    package = root / "repro"
+    for relative, text in files.items():
+        path = package / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        # every directory on the way needs to be a package
+        current = path.parent
+        while current != root:
+            init = current / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            current = current.parent
+    return package
+
+
+def _rules_fired(report) -> set[str]:
+    return {finding.rule for finding in report.findings}
+
+
+# -- RL001: context threading ------------------------------------------
+
+
+_CONTEXT_DEF = """
+def decide_cq_containment(q1, q2, semiring, *, context=None):
+    return True
+
+
+def _private_helper(q1, *, context=None):
+    return None
+
+
+def no_context_here(q1, q2):
+    return False
+"""
+
+
+def test_rl001_fires_on_unthreaded_call(tmp_path):
+    package = _write_tree(tmp_path, {
+        "core/containment.py": _CONTEXT_DEF,
+        "optimize/minimize.py": (
+            "from ..core.containment import decide_cq_containment\n\n\n"
+            "def minimize(q, s):\n"
+            "    return decide_cq_containment(q, q, s)\n"),
+    })
+    report = run_lint([package], rule_ids=["RL001"])
+    assert [f.rule for f in report.findings] == ["RL001"]
+    finding = report.findings[0]
+    assert finding.path.endswith("minimize.py")
+    assert "decide_cq_containment" in finding.message
+    assert finding.line == 5
+
+
+def test_rl001_silent_on_threaded_and_uncovered_calls(tmp_path):
+    package = _write_tree(tmp_path, {
+        "core/containment.py": _CONTEXT_DEF,
+        "optimize/minimize.py": (
+            "from ..core.containment import (decide_cq_containment,\n"
+            "                                no_context_here)\n\n\n"
+            "def minimize(q, s, *, context=None):\n"
+            "    no_context_here(q, q)\n"  # takes no context: not covered
+            "    return decide_cq_containment(q, q, s, context=context)\n"),
+    })
+    report = run_lint([package], rule_ids=["RL001"])
+    assert report.clean
+
+
+def test_rl001_recognizes_package_reexports(tmp_path):
+    package = _write_tree(tmp_path, {
+        "core/containment.py": _CONTEXT_DEF,
+        "core/__init__.py": (
+            "from .containment import decide_cq_containment\n"
+            "__all__ = [\"decide_cq_containment\"]\n"),
+        "algebra/rewrite.py": (
+            "from ..core import decide_cq_containment\n\n\n"
+            "def check(q, s):\n"
+            "    return decide_cq_containment(q, q, s)\n"),
+    })
+    report = run_lint([package], rule_ids=["RL001"])
+    assert len(report.findings) == 1
+    assert report.findings[0].path.endswith("rewrite.py")
+
+
+def test_rl001_kwargs_splat_counts_as_threaded(tmp_path):
+    package = _write_tree(tmp_path, {
+        "core/containment.py": _CONTEXT_DEF,
+        "optimize/wrap.py": (
+            "from ..core.containment import decide_cq_containment\n\n\n"
+            "def forward(q, s, **kwargs):\n"
+            "    return decide_cq_containment(q, q, s, **kwargs)\n"),
+    })
+    report = run_lint([package], rule_ids=["RL001"])
+    assert report.clean
+
+
+# -- RL002: cache-layer completeness -----------------------------------
+
+
+_LAYERS_OK = """
+class CacheLayer:
+    pass
+
+
+CACHE_LAYERS = (
+    CacheLayer(name="parsed", attr="_parsed", hits="parse_hits",
+               calls="parse_calls", entries="parsed_entries"),
+)
+"""
+
+_ENGINE_OK = """
+class EngineStats:
+    parse_hits: int = 0
+    parse_calls: int = 0
+
+
+class _LRU:
+    pass
+
+
+class ContainmentEngine:
+    def __init__(self):
+        self._parsed = _LRU(8)
+
+    def export_caches(self):
+        return {layer.name: getattr(self, layer.attr)
+                for layer in CACHE_LAYERS}
+
+    def import_caches(self, state):
+        for layer in CACHE_LAYERS:
+            state.get(layer.name)
+"""
+
+_SNAPSHOT_OK = """
+from ..api.layers import SNAPSHOT_LAYERS as _LAYERS
+"""
+
+
+def test_rl002_silent_on_registry_driven_engine(tmp_path):
+    package = _write_tree(tmp_path, {
+        "api/layers.py": _LAYERS_OK,
+        "api/engine.py": _ENGINE_OK,
+        "service/snapshot.py": _SNAPSHOT_OK,
+    })
+    report = run_lint([package], rule_ids=["RL002"])
+    assert report.clean, report.findings
+
+
+def test_rl002_fires_on_undeclared_store(tmp_path):
+    engine = _ENGINE_OK.replace(
+        "self._parsed = _LRU(8)",
+        "self._parsed = _LRU(8)\n        self._rogue = _LRU(8)")
+    package = _write_tree(tmp_path, {
+        "api/layers.py": _LAYERS_OK,
+        "api/engine.py": engine,
+        "service/snapshot.py": _SNAPSHOT_OK,
+    })
+    report = run_lint([package], rule_ids=["RL002"])
+    assert any("_rogue" in f.message for f in report.findings)
+
+
+def test_rl002_fires_on_phantom_layer_and_bad_counter(tmp_path):
+    layers = _LAYERS_OK.replace(
+        "               calls=\"parse_calls\", entries=\"parsed_entries\"),",
+        "               calls=\"parse_calls\", entries=\"parsed_entries\"),\n"
+        "    CacheLayer(name=\"ghost\", attr=\"_ghost\",\n"
+        "               hits=\"ghost_hits\", calls=\"ghost_calls\",\n"
+        "               entries=\"ghost_entries\"),")
+    package = _write_tree(tmp_path, {
+        "api/layers.py": layers,
+        "api/engine.py": _ENGINE_OK,
+        "service/snapshot.py": _SNAPSHOT_OK,
+    })
+    report = run_lint([package], rule_ids=["RL002"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "never creates it" in messages        # phantom attr
+    assert "not an EngineStats field" in messages  # phantom counter
+
+
+def test_rl002_fires_on_literal_snapshot_schema(tmp_path):
+    package = _write_tree(tmp_path, {
+        "api/layers.py": _LAYERS_OK,
+        "api/engine.py": _ENGINE_OK,
+        "service/snapshot.py": '_LAYERS = ("parsed",)\n',
+    })
+    report = run_lint([package], rule_ids=["RL002"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "import SNAPSHOT_LAYERS" in messages
+    assert "duplicates the registry" in messages
+
+
+def test_rl002_fires_when_export_ignores_registry(tmp_path):
+    engine = _ENGINE_OK.replace(
+        "        return {layer.name: getattr(self, layer.attr)\n"
+        "                for layer in CACHE_LAYERS}",
+        "        return {\"parsed\": self._parsed}")
+    package = _write_tree(tmp_path, {
+        "api/layers.py": _LAYERS_OK,
+        "api/engine.py": engine,
+        "service/snapshot.py": _SNAPSHOT_OK,
+    })
+    report = run_lint([package], rule_ids=["RL002"])
+    assert any("export_caches" in f.message for f in report.findings)
+
+
+# -- RL003: semiring conformance ---------------------------------------
+
+
+_SEMIRING_BASE = """
+class VectorizedOps:
+    def encode(self): ...
+    def decode(self): ...
+    def add(self): ...
+    def mul(self): ...
+    def segment_add(self): ...
+
+
+class SemiringProperties:
+    def __init__(self, **kwargs): ...
+
+
+class Semiring:
+    pass
+"""
+
+_VECTORIZED_OK = """
+from .base import VectorizedOps
+
+
+class FullOps(VectorizedOps):
+    def encode(self): ...
+    def decode(self): ...
+    def add(self): ...
+    def mul(self): ...
+    def segment_add(self): ...
+
+
+class HalfOps(VectorizedOps):
+    def encode(self): ...
+    def decode(self): ...
+"""
+
+_TROPICAL_OK = """
+from .base import Semiring, SemiringProperties
+
+
+class GoodSemiring(Semiring):
+    poly_order = "min-plus"
+    properties = SemiringProperties(poly_order_decidable=True)
+
+    def poly_leq(self, p1, p2):
+        return True
+
+    def vectorized_ops(self):
+        try:
+            from ._vectorized import FullOps
+        except ImportError:
+            return None
+        return FullOps()
+"""
+
+
+def test_rl003_silent_on_coherent_semiring(tmp_path):
+    package = _write_tree(tmp_path, {
+        "semirings/base.py": _SEMIRING_BASE,
+        "semirings/_vectorized.py": _VECTORIZED_OK,
+        "semirings/tropical.py": _TROPICAL_OK,
+    })
+    report = run_lint([package], rule_ids=["RL003"])
+    assert report.clean, report.findings
+
+
+def test_rl003_fires_on_unknown_kind_and_missing_decidability(tmp_path):
+    bad = """
+from .base import Semiring, SemiringProperties
+
+
+class TypoSemiring(Semiring):
+    poly_order = "mid-plus"
+
+
+class UndecidedSemiring(Semiring):
+    poly_order = "min-plus"
+    properties = SemiringProperties(poly_order_decidable=False)
+"""
+    package = _write_tree(tmp_path, {
+        "semirings/base.py": _SEMIRING_BASE,
+        "semirings/bad.py": bad,
+    })
+    report = run_lint([package], rule_ids=["RL003"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "mid-plus" in messages
+    assert "poly_order_decidable=True" in messages
+    assert "poly_leq" in messages  # UndecidedSemiring has no fallback
+
+
+def test_rl003_fires_on_incomplete_kernel(tmp_path):
+    tropical = _TROPICAL_OK.replace("FullOps", "HalfOps")
+    package = _write_tree(tmp_path, {
+        "semirings/base.py": _SEMIRING_BASE,
+        "semirings/_vectorized.py": _VECTORIZED_OK,
+        "semirings/tropical.py": tropical,
+    })
+    report = run_lint([package], rule_ids=["RL003"])
+    assert len(report.findings) == 1
+    message = report.findings[0].message
+    assert "HalfOps" in message and "segment_add" in message
+
+
+def test_rl003_fires_on_kernel_outside_vectorized_module(tmp_path):
+    tropical = _TROPICAL_OK.replace(
+        "from ._vectorized import FullOps", "FullOps = object")
+    package = _write_tree(tmp_path, {
+        "semirings/base.py": _SEMIRING_BASE,
+        "semirings/_vectorized.py": _VECTORIZED_OK,
+        "semirings/tropical.py": tropical,
+    })
+    report = run_lint([package], rule_ids=["RL003"])
+    assert any("not imported from semirings/_vectorized"
+               in f.message for f in report.findings)
+
+
+# -- RL004: determinism hazards ----------------------------------------
+
+
+def test_rl004_fires_on_each_hazard(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": (
+            "import hashlib\n\n\n"
+            "def shard_of(key):\n"
+            "    for item in {1, 2, 3}:\n"
+            "        key += item\n"
+            "    return id(key), hash(key), repr({4, 5})\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "id() is a per-process address" in messages
+    assert "hash() is salted per process" in messages
+    assert "repr() of a set" in messages
+    assert "set iteration inside shard_of()" in messages
+
+
+def test_rl004_silent_on_hash_memo_idiom(tmp_path):
+    package = _write_tree(tmp_path, {
+        "queries/cq.py": (
+            "class CQ:\n"
+            "    def __hash__(self):\n"
+            "        return hash(self.atoms)\n\n"
+            "    def precompute(self):\n"
+            "        self._hash = hash(self.atoms)\n"
+            "        object.__setattr__(self, \"_hash\",\n"
+            "                           hash(self.atoms))\n\n"
+            "    def walk(self):\n"
+            "        for atom in sorted({1, 2}):\n"
+            "            yield atom\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    assert report.clean, report.findings
+
+
+# -- RL005: pickle-boundary safety -------------------------------------
+
+
+_SNAPSHOT_ALLOWLIST = """
+class _RestrictedUnpickler:
+    _ALLOWED_FUNCTIONS = frozenset({"_restore_cq"})
+"""
+
+
+def test_rl005_silent_on_allowlisted_restores(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/snapshot.py": _SNAPSHOT_ALLOWLIST,
+        "queries/cq.py": (
+            "def _restore_cq(head, atoms):\n"
+            "    return CQ(head, atoms)\n\n\n"
+            "class CQ:\n"
+            "    @classmethod\n"
+            "    def _from_canonical(cls, head, atoms):\n"
+            "        return cls()\n\n"
+            "    def __reduce__(self):\n"
+            "        return (_restore_cq, (self.head, self.atoms))\n\n\n"
+            "class Atom:\n"
+            "    def __reduce__(self):\n"
+            "        return (Atom, (1,))\n"),
+    })
+    report = run_lint([package], rule_ids=["RL005"])
+    assert report.clean, report.findings
+
+
+def test_rl005_fires_on_unlisted_restore_function(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/snapshot.py": _SNAPSHOT_ALLOWLIST,
+        "queries/cq.py": (
+            "def _restore_cq(x):\n"
+            "    return x\n\n\n"
+            "def _rogue(x):\n"
+            "    return x\n\n\n"
+            "class CQ:\n"
+            "    def __reduce__(self):\n"
+            "        return (_rogue, (1,))\n"),
+    })
+    report = run_lint([package], rule_ids=["RL005"])
+    assert any("_rogue" in f.message and "allowlist" in f.message
+               for f in report.findings)
+
+
+def test_rl005_fires_on_fast_restore_without_reduce(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/snapshot.py": _SNAPSHOT_ALLOWLIST,
+        "queries/cq.py": (
+            "def _restore_cq(x):\n"
+            "    return x\n\n\n"
+            "class Orphan:\n"
+            "    @classmethod\n"
+            "    def _from_canonical(cls, x):\n"
+            "        return cls()\n"),
+    })
+    report = run_lint([package], rule_ids=["RL005"])
+    assert any("_from_canonical but no __reduce__" in f.message
+               for f in report.findings)
+
+
+def test_rl005_fires_on_ghost_allowlist_entry(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/snapshot.py": (
+            "class _RestrictedUnpickler:\n"
+            "    _ALLOWED_FUNCTIONS = frozenset({\"_never_defined\"})\n"),
+    })
+    report = run_lint([package], rule_ids=["RL005"])
+    assert any("_never_defined" in f.message for f in report.findings)
+
+
+# -- pragmas ------------------------------------------------------------
+
+
+def test_trailing_pragma_suppresses_own_line(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": (
+            "def route(key):\n"
+            "    return id(key)  # repro-lint: disable=RL004\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_comment_pragma_suppresses_next_line(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": (
+            "def route(key):\n"
+            "    # in-process only.  # repro-lint: disable=RL004\n"
+            "    return id(key)\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": (
+            "def route(key):\n"
+            "    return id(key)  # repro-lint: disable=RL001\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    assert len(report.findings) == 1
+    assert report.suppressed == 0
+
+
+def test_disable_all_pragma(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": (
+            "def route(key):\n"
+            "    return id(key)  # repro-lint: disable=all\n"),
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    assert report.clean
+
+
+# -- reporters, CLI, self-check ----------------------------------------
+
+
+def test_syntax_error_becomes_rl000_finding(tmp_path):
+    package = _write_tree(tmp_path, {"broken.py": "def nope(:\n"})
+    report = run_lint([package])
+    assert any(f.rule == "RL000" for f in report.findings)
+    assert report.exit_code == 1
+
+
+def test_json_reporter_schema(tmp_path):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": "def route(key):\n    return id(key)\n",
+    })
+    report = run_lint([package], rule_ids=["RL004"])
+    document = render_json(report)
+    assert document["version"] == 1
+    assert document["clean"] is False
+    assert document["files"] == report.files
+    assert document["suppressed"] == 0
+    [finding] = document["findings"]
+    assert set(finding) == {"rule", "path", "line", "message"}
+    assert finding["rule"] == "RL004"
+    assert finding["line"] == 2
+    json.dumps(document)  # JSON-clean end to end
+
+
+def test_cli_lint_exit_codes_and_json(tmp_path, capsys):
+    package = _write_tree(tmp_path, {
+        "service/routing.py": "def route(key):\n    return id(key)\n",
+    })
+    assert main(["lint", "--json", str(package)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    clean = _write_tree(tmp_path / "ok", {"fine.py": "VALUE = 1\n"})
+    assert main(["lint", str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repo_tree_lints_clean():
+    """The repository's own package must pass its own linter —
+    exactly what the CI gate (`python -m repro lint`) enforces."""
+    report = run_lint()  # defaults to the installed repro package
+    assert report.clean, "\n".join(f.render() for f in report.findings)
