@@ -1,6 +1,6 @@
 """Throughput of the decision service: worker pool + warm-start snapshots.
 
-Two claims of the service subsystem, each asserted on a ≥400-decision
+Claims of the service subsystem, asserted on a ≥400-decision
 mixed-semiring workload (the shape of rewrite-auditing sweeps: many
 independent Table-1 decisions over a fixed semiring set):
 
@@ -12,7 +12,12 @@ independent Table-1 decisions over a fixed semiring set):
 * **warm start** — a repeated CLI-style batch run restoring a
   structural snapshot must be ≥ 3× faster than its cold twin, again
   with byte-identical output (the structural layers carry no verdict
-  documents, so ``cached`` stays ``false``).
+  documents, so ``cached`` stays ``false``);
+* **self-healing** — a supervised pool with one worker SIGKILLed
+  mid-stream must still produce the byte-identical verdict stream,
+  with the respawn visible in the service metrics; and the asyncio
+  gateway must shed load in-band under a wedged worker and serve
+  normally once it resumes.
 
 Verdict equality always runs.  The wall-clock ratios are asserted only
 on capable machines: set ``REPRO_BENCH_SMOKE=1`` (the CI default) to
@@ -24,13 +29,18 @@ shared CI.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import signal
+import socket
+import threading
 import time
 
 from repro.api import ContainmentEngine
 from repro.queries import CQ, Atom, Var
-from repro.service import WorkerPool, load_snapshot, save_snapshot
+from repro.service import (AsyncGateway, SupervisedWorkerPool, WorkerPool,
+                           load_snapshot, save_snapshot)
 
 from conftest import curated_cq_pairs, curated_ucq_pairs
 
@@ -185,6 +195,93 @@ def test_warm_start_snapshot_speeds_up_repeated_batch(tmp_path):
         assert speedup >= 3.0, (
             f"structural warm start must be >= 3x a cold run, "
             f"got {speedup:.2f}x")
+
+
+def test_supervised_pool_survives_sigkill_byte_identically():
+    """The elastic-serving claim: chaos changes wall clock, not bytes.
+
+    The full service workload runs through a supervised 4-worker pool
+    with one worker SIGKILLed mid-stream; the verdict stream must stay
+    byte-identical to the sequential engine's and the respawn must show
+    up in the service metrics.
+    """
+    requests = service_workload()
+    if not SMOKE:
+        assert len(requests) >= 400, len(requests)
+    sequential, sequential_seconds = sequential_pass(requests)
+    with SupervisedWorkerPool(PARALLEL_WORKERS) as pool:
+        start = time.perf_counter()
+        seqs = [pool.submit(pool.normalize(request))
+                for request in requests]
+        outcomes = [pool.result(seq, timeout=300) for seq in seqs[:20]]
+        victim = next(pid for pid in pool.worker_pids() if pid)
+        os.kill(victim, signal.SIGKILL)
+        outcomes += [pool.result(seq, timeout=300) for seq in seqs[20:]]
+        chaos_seconds = time.perf_counter() - start
+        report = pool.metrics.as_dict()
+    assert [outcome.to_dict() for outcome in outcomes] == sequential, \
+        "a SIGKILL mid-stream must not change a single output byte"
+    assert report["respawns"] >= 1
+    assert sum(report["worker_restarts"]) >= 1
+    print(f"\n  {len(requests)} decisions under SIGKILL chaos: sequential "
+          f"{sequential_seconds * 1e3:8.1f} ms, supervised "
+          f"{chaos_seconds * 1e3:8.1f} ms, {report['respawns']} respawns, "
+          f"{report['redriven']} re-driven, {report['steals']} steals")
+
+
+def test_gateway_sheds_load_in_band_and_recovers():
+    """Backpressure smoke: a wedged worker trips shedding, then recovers.
+
+    SIGSTOP makes the overload deterministic: with ``queue_limit=1``
+    the first request holds the only seat until its deadline expires
+    and the pipelined rest are shed in-band.  After SIGCONT the same
+    gateway serves normally — shedding is a mode, not a death.
+    """
+    with SupervisedWorkerPool(1) as pool:
+        gateway = AsyncGateway(pool, deadline=1.0, queue_limit=1)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                gateway.serve("127.0.0.1", 0, ready=ready)),
+            daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+
+        def exchange(lines):
+            with socket.create_connection(gateway.tcp_address,
+                                          timeout=30) as client:
+                with client.makefile("rw", encoding="utf-8",
+                                     newline="\n") as stream:
+                    for line in lines:
+                        stream.write(line + "\n")
+                    stream.flush()
+                    client.shutdown(socket.SHUT_WR)
+                    return [json.loads(line) for line in stream
+                            if line.strip()]
+
+        burst = [json.dumps({"semiring": "B",
+                             "q1": f"Q() :- R(u, v), B{i}(u)",
+                             "q2": "Q() :- R(u, v)", "id": f"b{i}"})
+                 for i in range(4)]
+        pid = pool.worker_pids()[0]
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            replies = exchange(burst)
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        assert replies[0].get("expired") is True
+        assert all(reply.get("overloaded") for reply in replies[1:])
+        recovered = exchange([burst[0]])
+        assert recovered[0]["request_id"] == "b0"
+        report = gateway.metrics.as_dict()
+        assert report["shed"] == 3
+        assert report["expired"] == 1
+        exchange(['{"op": "shutdown"}'])
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        print(f"\n  gateway shed {report['shed']} of {len(burst)} under a "
+              f"wedged worker, expired {report['expired']}, recovered "
+              f"after SIGCONT")
 
 
 def test_warm_start_through_the_cli(tmp_path):

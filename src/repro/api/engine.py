@@ -121,7 +121,8 @@ _LAYER_COUNTERS = tuple(
     for layer in CACHE_LAYERS if layer.calls is not None)
 
 
-def stats_report(info: Mapping[str, int]) -> dict:
+def stats_report(info: Mapping[str, int], *,
+                 service: Mapping | None = None) -> dict:
     """A per-layer hit-ratio report from flat ``cache_info()`` counters.
 
     Works on a single engine's counters or on the summed counters of a
@@ -131,6 +132,11 @@ def stats_report(info: Mapping[str, int]) -> dict:
     for layers that saw no traffic; the ``poly_orders`` layer
     additionally reports how many recalled certificates failed
     revalidation (``rejected``) and were recomputed.
+
+    ``service`` optionally attaches serving-layer counters (a
+    :meth:`repro.service.metrics.ServiceMetrics.as_dict` snapshot) to
+    the report, so one document describes both the decision caches and
+    the supervision/admission behaviour around them.
     """
     def layer(hits: int, calls: int, entries: int) -> dict:
         total = hits + calls
@@ -147,7 +153,10 @@ def stats_report(info: Mapping[str, int]) -> dict:
     verdict_hits = info.get("verdict_hits", 0)
     layers["verdicts"] = layer(verdict_hits, decisions - verdict_hits,
                                info.get("verdict_entries", 0))
-    return {"decisions": decisions, "layers": layers}
+    report = {"decisions": decisions, "layers": layers}
+    if service is not None:
+        report["service"] = dict(service)
+    return report
 
 
 class _LRU:

@@ -1,0 +1,395 @@
+"""Asyncio JSONL front end: pipelining, backpressure, deadlines.
+
+``serve --tcp`` handles each connection with a thread and decides one
+request at a time per connection — robust, but a single slow client
+ties up a thread and a pipelining client gets no overlap.  The
+:class:`AsyncGateway` (``python -m repro serve --tcp --async``) is a
+single-threaded asyncio front end over the same
+:class:`~repro.service.server.DecisionServer` protocol that adds the
+elastic-serving behaviours:
+
+**Pipelining.**  A connection may write many request lines without
+waiting; the gateway submits each to the worker pool as it arrives
+and writes responses back *in request order*, overlapping the pool's
+computation across the whole pipeline.
+
+**Backpressure & load shedding.**  At most ``queue_limit`` decisions
+are admitted gateway-wide at once; a request past the high watermark
+is *rejected newest* with a structured in-band response —
+``{"error": "overloaded...", "overloaded": true, "id": ...}`` — in
+its pipeline position, so clients can retry with their correlation id
+instead of hanging.  (Reject-newest keeps already-admitted work — the
+work most likely to be near completion — running.)
+
+**Deadlines.**  With ``deadline`` set, a decision that does not
+complete in time is answered in-band with ``{"error": "deadline
+expired...", "expired": true}`` and the pool's interest in the result
+is abandoned; the eventual verdict is discarded instead of leaking.
+
+**Bounded lines.**  The same ``max_line_bytes`` contract as the
+synchronous server: an over-long line is drained in bounded chunks and
+answered in-band, never buffered whole.
+
+Admission outcomes are counted in the shared
+:class:`~repro.service.metrics.ServiceMetrics` (``accepted`` / ``shed``
+/ ``expired``) next to the supervisor's respawn/steal counters, and
+the protocol's control ops (``ping``/``stats``/``snapshot``/
+``shutdown``) are delegated to the wrapped ``DecisionServer`` on an
+executor thread so a stats broadcast never stalls the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Mapping
+
+from ..api.batch import error_text
+from ..api.documents import coerce_request_id
+from ..queries.parser import ParseError
+from .metrics import ServiceMetrics
+from .pool import DecisionError, WorkerPool
+from .server import DecisionServer
+
+__all__ = ["AsyncGateway"]
+
+_REQUEST_ERRORS = (ValueError, TypeError, KeyError, ParseError)
+
+#: Chunk size for draining oversized lines without buffering them.
+_DRAIN_CHUNK = 1 << 16
+
+
+class _BoundedLineReader:
+    """Newline-delimited reads off a StreamReader with a byte bound.
+
+    Owns its buffer (``StreamReader.readline`` raises and leaves
+    partial state on overrun) so an oversized line can be drained in
+    bounded chunks while pipelined follow-on lines in the same TCP
+    segment are preserved.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_bytes: int):
+        self._reader = reader
+        self._max = max(0, int(max_bytes))
+        self._buffer = b""
+
+    def _pop_line(self) -> tuple[str, object] | None:
+        """Split one complete line off the buffer, if one is there."""
+        index = self._buffer.find(b"\n")
+        if index < 0:
+            return None
+        raw = self._buffer[:index]
+        self._buffer = self._buffer[index + 1:]
+        if self._max and len(raw) > self._max:
+            return ("oversized", len(raw))
+        return ("line", raw.decode("utf-8", errors="replace"))
+
+    async def next(self) -> tuple[str, object]:
+        """The next event: ``(kind, payload)``.
+
+        ``("line", text)`` for a complete line within the bound,
+        ``("oversized", byte_count)`` for a dropped over-long line, and
+        ``("eof", None)`` when the peer is done.
+        """
+        while True:
+            popped = self._pop_line()
+            if popped is not None:
+                return popped
+            if self._max and len(self._buffer) > self._max:
+                dropped = len(self._buffer)
+                self._buffer = b""
+                while True:  # drain to the next newline, never buffering
+                    chunk = await self._reader.read(_DRAIN_CHUNK)
+                    if not chunk:
+                        return ("oversized", dropped)
+                    index = chunk.find(b"\n")
+                    if index >= 0:
+                        dropped += index
+                        self._buffer = chunk[index + 1:]
+                        return ("oversized", dropped)
+                    dropped += len(chunk)
+            chunk = await self._reader.read(_DRAIN_CHUNK)
+            if not chunk:
+                if self._buffer:
+                    raw, self._buffer = self._buffer, b""
+                    if self._max and len(raw) > self._max:
+                        return ("oversized", len(raw))
+                    return ("line", raw.decode("utf-8", errors="replace"))
+                return ("eof", None)
+            self._buffer += chunk
+
+
+def _resolve(future: asyncio.Future, outcome) -> None:
+    """Set a bridged result, tolerating a deadline-cancelled future."""
+    if not future.done():
+        future.set_result(outcome)
+
+
+def _bridge(loop: asyncio.AbstractEventLoop, future: asyncio.Future,
+            outcome) -> None:
+    """Deliver a collector-thread outcome into the event loop.
+
+    Runs on the pool's collector thread; a loop that already closed
+    (teardown race) makes the outcome moot and must not kill the
+    collector.
+    """
+    try:
+        loop.call_soon_threadsafe(_resolve, future, outcome)
+    except RuntimeError:
+        pass
+
+
+class AsyncGateway:
+    """An asyncio TCP server multiplexing JSONL clients into a pool.
+
+    Wraps a :class:`WorkerPool` (for byte-identical decisions) and a
+    :class:`DecisionServer` (for control ops, counters and snapshot
+    flushing).  One instance serves many concurrent connections on one
+    event loop; per-request work happens in the pool's worker
+    processes, bridged back via ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, pool: WorkerPool, *,
+                 server: DecisionServer | None = None,
+                 deadline: float = 0.0,
+                 queue_limit: int = 256,
+                 pipeline_depth: int = 64,
+                 max_line_bytes: int = 0,
+                 metrics: ServiceMetrics | None = None):
+        self._pool = pool
+        self._server = (server if server is not None
+                        else DecisionServer(pool=pool,
+                                            max_line_bytes=max_line_bytes))
+        self._deadline = max(0.0, float(deadline))
+        self._queue_limit = max(1, int(queue_limit))
+        self._pipeline_depth = max(1, int(pipeline_depth))
+        self._max_line_bytes = max(0, int(max_line_bytes))
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            pool_metrics = getattr(pool, "metrics", None)
+            self.metrics = (pool_metrics if pool_metrics is not None
+                            else ServiceMetrics())
+        self._inflight = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping: asyncio.Event | None = None
+        self._readers: set = set()
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+        self.tcp_address: tuple | None = None
+
+    @property
+    def served(self) -> int:
+        """Decision requests answered (shared with the wrapped server)."""
+        return self._server.served
+
+    # -- serving -------------------------------------------------------
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0, *,
+                    ready=None) -> int:
+        """Accept and serve connections until a ``shutdown`` op arrives.
+
+        With ``port=0`` the OS picks a free port; :attr:`tcp_address`
+        carries the bound address once ``ready`` (a
+        ``threading.Event`` or ``asyncio.Event``) is set.  On shutdown,
+        open connections are closed, in-flight responses are drained,
+        and the wrapped server's final snapshot flush runs.  Returns
+        the number of decision requests served.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stopping = asyncio.Event()
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self.tcp_address = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            # Wind the open conversations down gracefully: an EOF nudge
+            # ends each read loop, and every connection then drains its
+            # own response pipeline before closing its writer.  Only
+            # stragglers (e.g. a pump wedged on a stalled client) get
+            # their transports yanked and their tasks cancelled.
+            for stream in list(self._readers):
+                stream.feed_eof()
+            tasks = list(self._conn_tasks)
+            if tasks:
+                _, stragglers = await asyncio.wait(tasks, timeout=5.0)
+                for writer in list(self._writers):
+                    writer.close()
+                for task in stragglers:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            await loop.run_in_executor(None, self._server.close)
+        return self._server.served
+
+    def shutdown(self) -> None:
+        """Stop :meth:`serve` from the event loop's own callbacks."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """One client conversation: read, admit, answer in order."""
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._readers.add(reader)
+        self._writers.add(writer)
+        lines = _BoundedLineReader(reader, self._max_line_bytes)
+        pending: asyncio.Queue = asyncio.Queue(maxsize=self._pipeline_depth)
+        pump = asyncio.ensure_future(self._write_responses(pending, writer))
+        stopping = False
+        try:
+            while not self._stopping.is_set():
+                kind, payload = await lines.next()
+                if kind == "eof":
+                    break
+                if kind == "oversized":
+                    self._server.record(served=1, errors=1)
+                    await pending.put(self._server.oversized_response())
+                    continue
+                item, stop = self._admit(payload)
+                if item is not None:
+                    await pending.put(item)
+                if stop:
+                    stopping = True
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await pending.put(None)
+            try:
+                await pump
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+            self._readers.discard(reader)
+            self._writers.discard(writer)
+            self._conn_tasks.discard(task)
+            if stopping:
+                # Set only after this connection's pipeline is fully
+                # drained: the shutdown ack — and every pipelined reply
+                # admitted before it — must reach the client before
+                # serve() starts tearing other connections down.
+                self._stopping.set()
+
+    async def _write_responses(self, pending: asyncio.Queue,
+                               writer: asyncio.StreamWriter) -> None:
+        """Drain the connection's pipeline, writing responses in order."""
+        while True:
+            item = await pending.get()
+            if item is None:
+                return
+            response = (await item) if isinstance(item, asyncio.Future) \
+                else item
+            if response is None:
+                continue
+            payload = json.dumps(response, ensure_ascii=False)
+            writer.write(payload.encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionError, ConnectionResetError):
+                return
+
+    # -- admission -----------------------------------------------------
+
+    def _admit(self, text: str) -> tuple:
+        """Classify one line; returns ``(pipeline item, stop serving)``.
+
+        The pipeline item is ``None`` (nothing to answer), a plain
+        response dict, or a scheduled task whose result the writer
+        pump will await in pipeline order.  Admission — including the
+        shed decision — happens *here*, synchronously in arrival
+        order, so the high watermark cannot be overrun by a burst.
+        """
+        text = text.strip()
+        if not text or text.startswith("#"):
+            return None, False
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("request line must be a JSON object")
+        except ValueError as error:
+            self._server.record(served=1, errors=1)
+            return {"error": error_text(error)}, False
+        if "op" in data:
+            if data.get("op") == "shutdown":
+                return {"op": "shutdown", "ok": True}, True
+            return asyncio.ensure_future(self._control(data)), False
+        if self._inflight >= self._queue_limit:
+            self.metrics.add("shed")
+            self._server.record(served=1, errors=1)
+            response = {"error": f"overloaded: {self._inflight} requests "
+                                 f"in flight (limit {self._queue_limit}); "
+                                 f"retry later",
+                        "overloaded": True}
+            request_id = self._request_id_of(data)
+            if request_id is not None:
+                response["id"] = request_id
+            return response, False
+        self._inflight += 1
+        self.metrics.add("accepted")
+        return asyncio.ensure_future(self._decide(data)), False
+
+    @staticmethod
+    def _request_id_of(data: Mapping) -> str | None:
+        """The request's correlation id, when one is readable."""
+        try:
+            return coerce_request_id(data.get("id"))
+        except TypeError:
+            return None
+
+    async def _control(self, data: dict) -> dict:
+        """Run a control op on an executor thread; never blocks the loop."""
+        response, stop = await self._loop.run_in_executor(
+            None, self._server.control, data)
+        if stop:  # pragma: no cover - shutdown is short-circuited earlier
+            self._stopping.set()
+        return response
+
+    async def _decide(self, data: dict) -> dict:
+        """Decide one admitted request against the pool, with deadline."""
+        try:
+            try:
+                request = self._pool.normalize(data)
+            except _REQUEST_ERRORS as error:
+                self._server.record(served=1, errors=1)
+                response = {"error": error_text(error)}
+                request_id = self._request_id_of(data)
+                if request_id is not None:
+                    response["id"] = request_id
+                return response
+            try:
+                seq = self._pool.submit(request)
+            except RuntimeError as error:  # dead shard / closed: in-band
+                self._server.record(served=1, errors=1)
+                return DecisionError(str(error), id=request.id).to_dict()
+            loop = self._loop
+            future = loop.create_future()
+            self._pool.on_result(
+                seq, lambda outcome: _bridge(loop, future, outcome))
+            try:
+                if self._deadline > 0:
+                    outcome = await asyncio.wait_for(future, self._deadline)
+                else:
+                    outcome = await future
+            except asyncio.TimeoutError:
+                self._pool.abandon(seq)
+                self.metrics.add("expired")
+                self._server.record(served=1, errors=1)
+                response = {"error": f"deadline expired after "
+                                     f"{self._deadline:g}s",
+                            "expired": True}
+                if request.id is not None:
+                    response["id"] = request.id
+                return response
+            if isinstance(outcome, DecisionError):
+                self._server.record(served=1, errors=1)
+                return outcome.to_dict()
+            self._server.record(served=1, decided=1)
+            loop.run_in_executor(None, self._server.maybe_flush)
+            return outcome.to_dict()
+        finally:
+            self._inflight -= 1

@@ -20,7 +20,16 @@ first.  Per-request failures (unknown semirings, malformed queries) are
 reported in-band as :class:`DecisionError` values — one bad request
 never kills the stream.  A worker process that dies is detected and its
 in-flight requests are converted to in-band errors; the pool refuses
-new work for its shard afterwards.
+new work for its shard afterwards.  (The subclass in
+:mod:`repro.service.supervisor` upgrades that policy to respawn and
+re-drive.)
+
+Every dispatched request carries a *ticket* — the worker echoes it back
+with the reply, and the collector drops replies whose ticket no longer
+matches the current dispatch of that sequence number.  For this base
+pool a ticket never changes; the supervisor bumps it when it re-drives
+a request after a respawn, so a zombie reply from the previous worker
+generation can never race the re-driven one.
 
 Workers can warm-start from a :mod:`repro.service.snapshot` file, and
 :meth:`WorkerPool.collect_caches` gathers the merged cache state back
@@ -34,9 +43,10 @@ import multiprocessing
 import os
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..api.batch import error_text
 from ..api.documents import (ContainmentRequest, VerdictDocument,
@@ -46,6 +56,10 @@ from ..queries.parser import ParseError
 from .snapshot import SnapshotError, load_snapshot, merge_states
 
 __all__ = ["DecisionError", "WorkerPool", "shard_key", "sum_stats"]
+
+#: How often the collector checks worker liveness even while results
+#: keep flowing — a steady stream must not postpone crash detection.
+_REAP_INTERVAL = 0.25
 
 
 def sum_stats(infos: Iterable[Mapping[str, int]]) -> dict[str, int]:
@@ -105,13 +119,48 @@ def shard_key(request: ContainmentRequest, registry=None) -> bytes:
                         str(int(request.equivalence)))).encode("utf-8")
 
 
+def _close_inherited_sockets() -> None:
+    """Close every socket fd this process inherited across fork.
+
+    A worker forked while the serving tier has open TCP sockets —
+    above all a *respawned* worker, forked mid-service — inherits
+    duplicates of the listen socket and of every accepted connection.
+    Held in the worker, those duplicates mean a client never sees the
+    connection close (no FIN while any copy of the fd is open), so a
+    pipelined client would hang waiting for EOF after a respawn.  The
+    pool's queue pipes are FIFOs, not sockets, and stay untouched.
+    """
+    import stat
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover - non-/proc platform
+        fds = list(range(3, 4096))
+    for fd in fds:
+        if fd < 3:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
 def _worker_main(index: int, inbox, outbox, snapshot_path,
-                 include_verdicts: bool) -> None:
-    """One worker process: an engine plus a message loop."""
+                 load_verdicts: bool) -> None:
+    """One worker process: an engine plus a message loop.
+
+    ``load_verdicts`` controls whether the warm-start snapshot's
+    verdict layer is imported: a *respawned* worker must start with the
+    structural layers only, so the requests it re-decides carry the
+    same ``cached`` flags a sequential run would produce (the
+    supervisor re-stamps true duplicates at delivery).
+    """
+    _close_inherited_sockets()
     engine = ContainmentEngine()
     if snapshot_path is not None:
         try:
-            load_snapshot(engine, snapshot_path)
+            load_snapshot(engine, snapshot_path,
+                          include_verdicts=load_verdicts)
         except SnapshotError:
             pass  # a stale/corrupt snapshot means a cold start, not a crash
     try:
@@ -119,11 +168,13 @@ def _worker_main(index: int, inbox, outbox, snapshot_path,
             message = inbox.get()
             kind = message[0]
             if kind == "req":
-                _, seq, request = message
+                _, seq, request, ticket = message
                 try:
-                    outbox.put(("ok", seq, engine.decide_request(request)))
+                    outbox.put(("ok", seq, engine.decide_request(request),
+                                ticket))
                 except _REQUEST_ERRORS as error:
-                    outbox.put(("err", seq, error_text(error), request.id))
+                    outbox.put(("err", seq, error_text(error), request.id,
+                                ticket))
             elif kind == "caches":
                 outbox.put(("caches", index,
                             engine.export_caches(
@@ -161,36 +212,34 @@ class WorkerPool:
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
         self._snapshot_path = (os.fspath(snapshot_path)
                                if snapshot_path is not None else None)
         self._include_verdict_snapshot = include_verdict_snapshot
         # Parent-side engine: parse interning for request normalization
         # plus the registry for canonical shard keys.  It never decides.
         self._parent_engine = ContainmentEngine()
-        self._outbox = context.Queue()
-        self._inboxes = [context.Queue() for _ in range(count)]
-        self._processes = [
-            context.Process(
-                target=_worker_main,
-                args=(index, self._inboxes[index], self._outbox,
-                      self._snapshot_path, include_verdict_snapshot),
-                name=f"repro-worker-{index}", daemon=True)
-            for index in range(count)
-        ]
-        for process in self._processes:
-            process.start()
+        self._outbox = self._context.Queue()
+        self._inboxes: list = []
+        self._processes: list = []
         self._cond = threading.Condition()
         self._results: dict[int, tuple] = {}
         self._replies: dict[str, dict[int, Any]] = {"caches": {},
                                                     "stats": {}}
         self._assigned: dict[int, int] = {}     # seq → worker index
+        self._requests: dict[int, ContainmentRequest] = {}  # in flight
+        self._tickets: dict[int, int] = {}      # seq → dispatch ticket
+        self._callbacks: dict[int, Callable] = {}
+        self._abandoned: set[int] = set()
+        self._active_broadcast: tuple | None = None
         self._dead: set[int] = set()
         self._next_seq = 0
         self._dispatch_lock = threading.Lock()
         self._control_lock = threading.Lock()
         self._closed = False
         self._stop = threading.Event()
+        for index in range(count):
+            self._spawn_process(index)
         self._collector = threading.Thread(target=self._collect,
                                            name="repro-pool-collector",
                                            daemon=True)
@@ -203,14 +252,50 @@ class WorkerPool:
         """Number of worker processes (including any that have died)."""
         return len(self._processes)
 
+    def worker_pids(self) -> list[int | None]:
+        """Live worker process ids by shard index (``None`` when dead)."""
+        pids: list[int | None] = []
+        for index, process in enumerate(self._processes):
+            alive = index not in self._dead and process.is_alive()
+            pids.append(process.pid if alive else None)
+        return pids
+
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _spawn_process(self, index: int, *, load_verdicts: bool = True):
+        """Create, register and start the worker process for ``index``.
+
+        Reuses the slot when respawning (the inbox is replaced so a
+        fresh worker never replays the dead one's queued messages).
+        Returns the started process.
+        """
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(index, inbox, self._outbox, self._snapshot_path,
+                  load_verdicts and self._include_verdict_snapshot),
+            name=f"repro-worker-{index}", daemon=True)
+        if index == len(self._inboxes):
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+        else:
+            self._inboxes[index] = inbox
+            self._processes[index] = process
+        process.start()
+        return process
+
     def close(self, timeout: float = 10.0) -> None:
-        """Stop the workers and the collector (idempotent)."""
+        """Stop the workers and the collector (idempotent).
+
+        Escalates per worker: a cooperative ``stop`` message, then
+        ``join(timeout)``, then ``terminate()`` (SIGTERM), and finally
+        ``kill()`` (SIGKILL) — a worker stuck in an uninterruptible
+        decision, or stopped by a debugger, cannot wedge shutdown.
+        """
         with self._dispatch_lock:
             if self._closed:
                 return
@@ -223,8 +308,13 @@ class WorkerPool:
                     pass
         for process in self._processes:
             process.join(timeout)
-            if process.is_alive():  # pragma: no cover - stuck worker
+            if process.is_alive():
                 process.terminate()
+                process.join(1.0)
+            if process.is_alive():
+                # SIGTERM can sit pending forever on a SIGSTOPped (or
+                # masked) worker; SIGKILL cannot be blocked.
+                process.kill()
                 process.join(1.0)
         self._stop.set()
         self._collector.join(timeout=2.0)
@@ -234,43 +324,122 @@ class WorkerPool:
 
     # -- result collection ----------------------------------------------
 
+    @staticmethod
+    def _outcome(message: tuple) -> "VerdictDocument | DecisionError":
+        """Convert a routed result message to its in-band outcome value."""
+        if message[0] == "ok":
+            return message[2]
+        return DecisionError(message[2], id=message[3])
+
+    def _note_result(self, seq: int, worker: int | None,
+                     message: tuple) -> tuple:
+        """Hook: observe (and possibly rewrite) a result at delivery.
+
+        Runs on the collector thread with ``self._cond`` held, after
+        the seq's dispatch records were removed.  The base pool does
+        nothing; the supervisor uses it for dispatch accounting and
+        for re-stamping the ``cached`` flag of duplicate requests.
+        """
+        return message
+
     def _collect(self) -> None:
         """Single reader of the worker outbox; routes replies to waiters."""
+        last_reap = time.monotonic()
         while not self._stop.is_set():
             try:
                 message = self._outbox.get(timeout=0.1)
             except queue.Empty:
                 self._reap_dead_workers()
+                last_reap = time.monotonic()
                 continue
             except (EOFError, OSError):  # pragma: no cover - teardown
                 return
+            callback = None
+            outcome = None
             with self._cond:
                 kind = message[0]
                 if kind in ("ok", "err"):
-                    self._assigned.pop(message[1], None)
-                    self._results[message[1]] = message
+                    seq = message[1]
+                    if message[-1] != self._tickets.get(seq):
+                        # A zombie reply: this seq was re-driven on a
+                        # fresh worker generation after its first
+                        # worker was declared dead mid-decision.
+                        continue
+                    worker = self._assigned.pop(seq, None)
+                    self._requests.pop(seq, None)
+                    self._tickets.pop(seq, None)
+                    message = self._note_result(seq, worker, message)
+                    if seq in self._abandoned:
+                        self._abandoned.discard(seq)
+                    elif seq in self._callbacks:
+                        callback = self._callbacks.pop(seq)
+                        outcome = self._outcome(message)
+                    else:
+                        self._results[seq] = message
                 elif kind in ("caches", "stats"):
                     self._replies[kind][message[1]] = message[2]
                 self._cond.notify_all()
+            if callback is not None:
+                callback(outcome)
+            if time.monotonic() - last_reap > _REAP_INTERVAL:
+                self._reap_dead_workers()
+                last_reap = time.monotonic()
+
+    def _deliver_error_locked(self, seq: int, text: str,
+                              request_id) -> tuple | None:
+        """Record an in-band error outcome for ``seq`` (``_cond`` held).
+
+        Routes to the registered callback (returned as ``(callback,
+        outcome)`` for the caller to fire outside the lock), the
+        abandoned set, or the results map — mirroring ``_collect``.
+        """
+        self._tickets.pop(seq, None)
+        if seq in self._abandoned:
+            self._abandoned.discard(seq)
+            return None
+        if seq in self._callbacks:
+            return (self._callbacks.pop(seq),
+                    DecisionError(text, id=request_id))
+        self._results[seq] = ("err", seq, text, request_id, None)
+        return None
+
+    def _handle_worker_death(self, index: int, process) -> list:
+        """Policy hook for a crashed worker (``self._cond`` held).
+
+        The base pool retires the shard: the index joins ``_dead`` and
+        every in-flight request becomes an in-band error.  Returns the
+        ``(callback, outcome)`` pairs to fire outside the lock.  The
+        supervisor overrides this with respawn-and-re-drive.
+        """
+        self._dead.add(index)
+        fired = []
+        pending = sorted(seq for seq, worker in self._assigned.items()
+                         if worker == index)
+        for seq in pending:
+            del self._assigned[seq]
+            request = self._requests.pop(seq, None)
+            routed = self._deliver_error_locked(
+                seq,
+                f"worker {index} exited with code {process.exitcode} "
+                f"while deciding",
+                request.id if request is not None else None)
+            if routed is not None:
+                fired.append(routed)
+        return fired
 
     def _reap_dead_workers(self) -> None:
-        """Turn the pending work of crashed workers into in-band errors."""
+        """Detect crashed workers and apply the death policy."""
         if self._closed:
             return
-        for index, process in enumerate(self._processes):
+        for index in range(len(self._processes)):
+            process = self._processes[index]
             if index in self._dead or process.is_alive():
                 continue
             with self._cond:
-                self._dead.add(index)
-                pending = [seq for seq, worker in self._assigned.items()
-                           if worker == index]
-                for seq in pending:
-                    del self._assigned[seq]
-                    self._results[seq] = (
-                        "err", seq,
-                        f"worker {index} exited with code "
-                        f"{process.exitcode} while deciding", None)
+                fired = self._handle_worker_death(index, process)
                 self._cond.notify_all()
+            for callback, outcome in fired:
+                callback(outcome)
 
     # -- dispatch --------------------------------------------------------
 
@@ -294,7 +463,9 @@ class WorkerPool:
             self._next_seq += 1
             with self._cond:
                 self._assigned[seq] = worker
-            self._inboxes[worker].put(("req", seq, request))
+                self._requests[seq] = request
+                self._tickets[seq] = 0
+            self._inboxes[worker].put(("req", seq, request, 0))
             return seq
 
     def result(self, seq: int,
@@ -305,11 +476,43 @@ class WorkerPool:
                 if not self._cond.wait(timeout=timeout):
                     raise TimeoutError(f"no result for request #{seq}")
             message = self._results.pop(seq)
-        if message[0] == "ok":
-            return message[2]
-        return DecisionError(message[2], id=message[3])
+        return self._outcome(message)
 
-    def _normalize(self, item) -> ContainmentRequest:
+    def on_result(self, seq: int, callback: Callable) -> None:
+        """Register a one-shot callback for a submitted request's outcome.
+
+        The callback receives the :class:`VerdictDocument` or
+        :class:`DecisionError` as its only argument and runs on the
+        pool's collector thread (or on the calling thread, when the
+        result already arrived) — it must be quick and must not call
+        back into blocking pool methods.  A seq with a callback must
+        not also be awaited via :meth:`result`.  This is the bridge the
+        asyncio gateway uses to await pool results without a thread per
+        request.
+        """
+        with self._cond:
+            if seq not in self._results:
+                self._callbacks[seq] = callback
+                return
+            message = self._results.pop(seq)
+        callback(self._outcome(message))
+
+    def abandon(self, seq: int) -> None:
+        """Drop all interest in a submitted request (deadline expiry).
+
+        The request may keep computing on its worker, but its outcome
+        is discarded on arrival instead of accumulating in the results
+        map forever.  Safe to call whether or not the result already
+        arrived; any registered callback is dropped unfired.
+        """
+        with self._cond:
+            if seq in self._results:
+                del self._results[seq]
+            elif seq in self._assigned or seq in self._callbacks:
+                self._abandoned.add(seq)
+            self._callbacks.pop(seq, None)
+
+    def normalize(self, item) -> ContainmentRequest:
         """Coerce dict/request inputs, sharing the parent parse cache."""
         if isinstance(item, ContainmentRequest):
             return item
@@ -318,13 +521,16 @@ class WorkerPool:
                 item, parse=self._parent_engine.parse)
         raise TypeError(f"cannot read request {item!r}")
 
+    # Kept for callers of the pre-gateway private name.
+    _normalize = normalize
+
     # -- deciding --------------------------------------------------------
 
     def decide_one(self,
                    request) -> VerdictDocument | DecisionError:
         """Decide a single request (dicts accepted); errors in-band."""
         try:
-            normalized = self._normalize(request)
+            normalized = self.normalize(request)
         except _REQUEST_ERRORS as error:
             request_id = None
             if isinstance(request, Mapping):
@@ -364,7 +570,7 @@ class WorkerPool:
                     exhausted = True
                     break
                 try:
-                    request = self._normalize(item)
+                    request = self.normalize(item)
                 except _REQUEST_ERRORS as error:
                     request_id = None
                     if isinstance(item, Mapping):
@@ -402,24 +608,37 @@ class WorkerPool:
 
     def _broadcast(self, kind: str, payload: tuple = (),
                    timeout: float = 60.0) -> list:
-        """Send a control message to every live worker; gather replies."""
+        """Send a control message to every live worker; gather replies.
+
+        The in-progress message is remembered in ``_active_broadcast``
+        so a supervisor that respawns a worker mid-broadcast can re-send
+        it to the replacement — otherwise a ``stats`` call issued just
+        before a crash would block until its timeout.
+        """
         with self._control_lock:
+            message = (kind, *payload)
             with self._cond:
                 self._replies[kind] = {}
-            live = [index for index in range(len(self._processes))
-                    if index not in self._dead]
-            for index in live:
-                self._inboxes[index].put((kind, *payload))
-            with self._cond:
-                while True:
-                    expected = [index for index in live
-                                if index not in self._dead]
-                    replies = self._replies[kind]
-                    if all(index in replies for index in expected):
-                        return [replies[index] for index in sorted(replies)]
-                    if not self._cond.wait(timeout=timeout):
-                        raise TimeoutError(
-                            f"workers did not answer {kind!r} request")
+                self._active_broadcast = message
+            try:
+                live = [index for index in range(len(self._processes))
+                        if index not in self._dead]
+                for index in live:
+                    self._inboxes[index].put(message)
+                with self._cond:
+                    while True:
+                        expected = [index for index in live
+                                    if index not in self._dead]
+                        replies = self._replies[kind]
+                        if all(index in replies for index in expected):
+                            return [replies[index]
+                                    for index in sorted(replies)]
+                        if not self._cond.wait(timeout=timeout):
+                            raise TimeoutError(
+                                f"workers did not answer {kind!r} request")
+            finally:
+                with self._cond:
+                    self._active_broadcast = None
 
     def stats(self) -> list[dict[str, int]]:
         """Per-worker ``cache_info()`` (stats counters + cache sizes),

@@ -40,6 +40,15 @@ snapshot flush before the process exits.  When a snapshot path is
 configured, the server also flushes periodically — every
 ``flush_every`` decisions and/or every ``flush_interval`` seconds —
 so a crash loses at most one flush window of cache warmth.
+:meth:`DecisionServer.close` returns the final counters *including*
+any snapshot-flush failure, so supervising callers see a broken
+snapshot path instead of silently losing warmth.
+
+With ``max_line_bytes`` set, a single over-long (or unterminated)
+input line is answered with an in-band ``{"error": ..., "oversized":
+true}`` response instead of being buffered without bound — on stdio
+and TCP alike.  The asyncio gateway applies the same bound with the
+same response shape.
 """
 
 from __future__ import annotations
@@ -60,6 +69,10 @@ __all__ = ["DecisionServer"]
 
 _REQUEST_ERRORS = (ValueError, TypeError, KeyError, ParseError)
 
+#: Sentinel yielded by the bounded line iterators for a line that was
+#: dropped (never fully buffered) because it exceeded the byte bound.
+_OVERSIZED = object()
+
 
 class DecisionServer:
     """A JSONL request/response loop over an engine or a worker pool.
@@ -77,7 +90,9 @@ class DecisionServer:
                  snapshot_path=None,
                  include_verdict_snapshot: bool = True,
                  flush_every: int = 0,
-                 flush_interval: float = 0.0):
+                 flush_interval: float = 0.0,
+                 max_line_bytes: int = 0,
+                 metrics=None):
         if pool is not None and engine is not None:
             raise ValueError("pass an engine or a pool, not both")
         self._pool = pool
@@ -87,6 +102,13 @@ class DecisionServer:
         self._include_verdict_snapshot = include_verdict_snapshot
         self._flush_every = max(0, int(flush_every))
         self._flush_interval = max(0.0, float(flush_interval))
+        self._max_line_bytes = max(0, int(max_line_bytes))
+        # Serving-layer counters (respawns, shedding, …): default to the
+        # pool's scoreboard so the stats op needs no extra wiring.
+        self._metrics = (metrics if metrics is not None
+                         else getattr(pool, "metrics", None))
+        self._flush_error: str | None = None
+        self._close_stats: dict | None = None
         self._decide_lock = threading.Lock()
         self._flush_lock = threading.Lock()
         # Guards the counters: handle_line runs concurrently from TCP
@@ -142,41 +164,63 @@ class DecisionServer:
                         include_verdicts=self._include_verdict_snapshot)
             with self._count_lock:
                 self._decided_since_flush = 0
+                self._flush_error = None
             return counts
 
     def _flush_loop(self) -> None:
         while not self._stopped.wait(self._flush_interval):
             try:
                 self.flush_snapshot()
-            except Exception:  # pragma: no cover - flush must not kill serve
-                pass
+            except Exception as error:  # flush must not kill serve
+                self._flush_error = error_text(error)
 
     def _maybe_flush(self) -> None:
         if (self._snapshot_path is not None and self._flush_every > 0
                 and self._decided_since_flush >= self._flush_every):
             try:
                 self.flush_snapshot()
-            except Exception:  # pragma: no cover - flush must not kill serve
-                pass
+            except Exception as error:  # flush must not kill serve
+                self._flush_error = error_text(error)
 
-    def close(self) -> None:
+    def maybe_flush(self) -> None:
+        """Apply the every-N-decisions flush policy now, if it is due.
+
+        The synchronous loops call this after each decision; the async
+        gateway calls it from an executor thread so a flush never
+        blocks the event loop.
+        """
+        self._maybe_flush()
+
+    def close(self) -> dict:
         """Stop the flush timer and run the final snapshot flush.
 
         Idempotent: the serve loops close on exit and CLI teardown may
-        close again — the snapshot is flushed exactly once.
+        close again — the snapshot is flushed exactly once and every
+        call returns the same final stats dict: ``served``/``errors``
+        counters, the per-layer ``flushed`` counts (``None`` when no
+        snapshot is configured), and ``flush_error`` — the final
+        flush's failure text instead of a silent drop.
         """
         with self._count_lock:
             if self._closed:
-                return
+                return dict(self._close_stats or {})
             self._closed = True
         self._stopped.set()
         if self._flusher is not None:
             self._flusher.join(timeout=2.0)
+        flushed = None
+        flush_error = None
         if self._snapshot_path is not None:
             try:
-                self.flush_snapshot()
-            except Exception:  # pragma: no cover - teardown best effort
-                pass
+                flushed = self.flush_snapshot()
+            except Exception as error:  # teardown stays graceful
+                flush_error = error_text(error)
+                self._flush_error = flush_error
+        self._close_stats = {"served": self._served,
+                             "errors": self._errors,
+                             "flushed": flushed,
+                             "flush_error": flush_error}
+        return dict(self._close_stats)
 
     # -- request handling ------------------------------------------------
 
@@ -186,6 +230,16 @@ class DecisionServer:
             self._served += served
             self._errors += errors
             self._decided_since_flush += decided
+
+    def record(self, *, served: int = 0, errors: int = 0,
+               decided: int = 0) -> None:
+        """Fold request accounting from an external front end in.
+
+        The asyncio gateway answers requests without going through
+        :meth:`handle_line`; it reports its outcomes here so ``served``
+        and ``errors`` stay the single source of truth.
+        """
+        self._count(served=served, errors=errors, decided=decided)
 
     def _decide(self, data: dict) -> dict:
         """Decide one request document; in-band error dict on failure."""
@@ -223,17 +277,27 @@ class DecisionServer:
 
             response: dict = {"op": "stats", "served": self._served,
                               "errors": self._errors}
+            service = None
+            if self._metrics is not None:
+                service = self._metrics.as_dict()
+                if self._pool is not None:
+                    service["worker_pids"] = self._pool.worker_pids()
             if self._pool is not None:
                 # Per-worker flat counters plus one layered report over
                 # their sum — hit ratios stay zero-division-safe even
                 # for layers (e.g. poly_orders) that saw no traffic.
                 workers = self._pool.stats()
                 response["workers"] = workers
-                response["cache_stats"] = stats_report(sum_stats(workers))
+                response["cache_stats"] = stats_report(sum_stats(workers),
+                                                       service=service)
             else:
                 with self._decide_lock:
                     response["cache_info"] = self._engine.cache_info()
                     response["cache_stats"] = self._engine.cache_stats()
+            if service is not None:
+                response["service"] = service
+            if self._flush_error is not None:
+                response["flush_error"] = self._flush_error
             return response, False
         if op == "snapshot":
             try:
@@ -246,15 +310,48 @@ class DecisionServer:
             return {"op": "shutdown", "ok": True}, True
         return {"error": f"unknown op {op!r}"}, False
 
+    def control(self, data: dict) -> tuple[dict, bool]:
+        """Handle one already-parsed control op; returns (response, stop).
+
+        The public entry point for front ends (the asyncio gateway)
+        that parse their own lines but share this server's engine,
+        snapshot and counters.
+        """
+        return self._control(data)
+
+    def oversized_response(self) -> dict:
+        """The in-band answer for a line exceeding ``max_line_bytes``."""
+        return {"error": f"request line exceeds --max-line-bytes "
+                         f"({self._max_line_bytes} bytes)",
+                "oversized": True}
+
+    def _line_too_long(self, text: str) -> bool:
+        """True when a line's UTF-8 payload exceeds the configured bound.
+
+        Character count is a lower bound on byte count, so the encode
+        only runs for lines that could actually be over.
+        """
+        limit = self._max_line_bytes
+        if limit <= 0:
+            return False
+        if len(text) > limit:
+            return True
+        return len(text.encode("utf-8", errors="replace")) > limit
+
     def handle_line(self, line: str) -> tuple[dict | None, bool]:
         """Process one protocol line.
 
         Returns ``(response, stop)``: ``response`` is ``None`` for
         blank/comment lines, ``stop`` is True after a ``shutdown`` op.
+        An over-long line (when ``max_line_bytes`` is set) is answered
+        in-band and never parsed.
         """
         text = line.strip()
         if not text or text.startswith("#"):
             return None, False
+        if self._line_too_long(text):
+            self._count(served=1, errors=1)
+            return self.oversized_response(), False
         try:
             data = json.loads(text)
             if not isinstance(data, dict):
@@ -271,6 +368,36 @@ class DecisionServer:
 
     # -- serving ---------------------------------------------------------
 
+    def _iter_bounded(self, source: Iterable[str]):
+        """Iterate input lines without ever buffering an oversized one.
+
+        With ``max_line_bytes`` set and a ``readline``-capable source,
+        lines are read in bounded chunks: an over-long line is drained
+        chunk by chunk (never concatenated) and surfaced as the
+        :data:`_OVERSIZED` sentinel.  Other sources fall back to plain
+        iteration — :meth:`handle_line` still rejects long lines, it
+        just cannot prevent the buffering.
+        """
+        readline = getattr(source, "readline", None)
+        if self._max_line_bytes <= 0 or readline is None:
+            yield from source
+            return
+        limit = self._max_line_bytes
+        while True:
+            chunk = readline(limit + 2)
+            if not chunk:
+                return
+            if len(chunk) > limit + 1 and not chunk.endswith("\n"):
+                # Oversized and unterminated: drop the rest of the
+                # physical line in bounded reads.
+                while True:
+                    rest = readline(limit + 2)
+                    if not rest or rest.endswith("\n"):
+                        break
+                yield _OVERSIZED
+            else:
+                yield chunk
+
     def serve_lines(self, source: Iterable[str],
                     sink: TextIO) -> int:
         """The stdio loop: one response line per request line.
@@ -281,8 +408,12 @@ class DecisionServer:
         served.
         """
         try:
-            for line in source:
-                response, stop = self.handle_line(line)
+            for line in self._iter_bounded(source):
+                if line is _OVERSIZED:
+                    self._count(served=1, errors=1)
+                    response, stop = self.oversized_response(), False
+                else:
+                    response, stop = self.handle_line(line)
                 if response is not None:
                     print(json.dumps(response, ensure_ascii=False),
                           file=sink, flush=True)
@@ -304,11 +435,33 @@ class DecisionServer:
         """
         decision_server = self
 
+        limit = self._max_line_bytes
+
         class _Handler(socketserver.StreamRequestHandler):
+            def _read_bounded(self):
+                """One physical line, or ``_OVERSIZED`` (drained), or b''."""
+                if limit <= 0:
+                    return self.rfile.readline()
+                raw = self.rfile.readline(limit + 2)
+                if len(raw) > limit + 1 and not raw.endswith(b"\n"):
+                    while True:
+                        rest = self.rfile.readline(limit + 2)
+                        if not rest or rest.endswith(b"\n"):
+                            return _OVERSIZED
+                return raw
+
             def handle(self) -> None:
-                for raw in self.rfile:
-                    line = raw.decode("utf-8", errors="replace")
-                    response, stop = decision_server.handle_line(line)
+                while True:
+                    raw = self._read_bounded()
+                    if raw is _OVERSIZED:
+                        decision_server._count(served=1, errors=1)
+                        response, stop = (decision_server
+                                          .oversized_response(), False)
+                    elif not raw:
+                        return
+                    else:
+                        line = raw.decode("utf-8", errors="replace")
+                        response, stop = decision_server.handle_line(line)
                     if response is not None:
                         payload = json.dumps(response, ensure_ascii=False)
                         try:

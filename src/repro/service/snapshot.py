@@ -208,14 +208,21 @@ def save_snapshot(engine: ContainmentEngine, path: str | os.PathLike, *,
 
 
 def load_snapshot(engine: ContainmentEngine,
-                  path: str | os.PathLike) -> dict[str, int]:
+                  path: str | os.PathLike, *,
+                  include_verdicts: bool = True) -> dict[str, int]:
     """Restore a snapshot file into an engine; returns restore counts.
 
     Entries for semirings unknown to this engine's registry are
     skipped; a bad file raises :class:`SnapshotError` *before* any
-    entry is imported.
+    entry is imported.  With ``include_verdicts=False`` the verdict
+    layer is dropped even when the file carries one — how a respawned
+    pool worker warm-starts its structural caches without inheriting
+    ``cached: true`` flags its replacement run never earned.
     """
-    return engine.import_caches(read_snapshot(path))
+    state = read_snapshot(path)
+    if not include_verdicts:
+        state.pop("verdicts", None)
+    return engine.import_caches(state)
 
 
 def merge_states(states) -> dict:

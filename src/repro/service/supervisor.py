@@ -1,0 +1,366 @@
+"""Self-healing worker-pool supervision: respawn, re-drive, steal.
+
+:class:`~repro.service.pool.WorkerPool` detects a crashed worker but
+then retires the shard — every later request hashing there gets an
+in-band error for the life of the pool.  Fine for batch runs; fatal
+for the ROADMAP's "no human on call" service.
+:class:`SupervisedWorkerPool` upgrades the death policy in three ways:
+
+**Respawn.**  A dead worker is replaced *in its own shard slot* by a
+fresh process, warm-started from the pool's snapshot file with the
+verdict layer stripped (structural caches — parses, classifications,
+hom searches, descriptions, tropical certificates — carry over; the
+``cached`` flags of its verdicts do not, so re-decided requests still
+look exactly like a sequential run's).  A worker that keeps dying
+past ``max_respawns`` is retired with the base policy.
+
+**Re-drive.**  Requests that were on the dead worker when it crashed
+are re-queued, in sequence order, at the *front* of the replacement's
+backlog.  Each dispatch carries a ticket (the shard's restart count),
+so a reply from the dead generation — e.g. a worker that answered and
+was then killed before the parent read the answer — can never race
+the re-driven computation.  A request that kills its worker
+``max_redrives`` times is declared poisonous and answered with an
+in-band error instead of crash-looping the shard.
+
+**Stealing.**  Dispatch is parent-side: each shard has a backlog deque
+and at most ``prefetch`` requests actually inside the worker process.
+When a shard's backlog outgrows ``steal_threshold``, its *stealable*
+tail spills into a bounded overflow deque that any worker with an
+empty backlog may drain.  Only globally-fresh requests are stealable:
+a request whose key was already decided (or is in flight) is pinned to
+its home shard so verdict-LRU locality — and therefore the ``cached``
+flag — is preserved.
+
+The byte-identity contract (``decide_many`` equals sequential
+evaluation, chaos included) is kept by one delivery-time rule: a
+request whose key was seen before — the definition of "would have hit
+a sequential engine's verdict cache" — has its ``cached`` flag
+re-stamped ``true`` even when chaos (a respawned worker's cold verdict
+LRU, or a steal to a foreign worker) forced a recomputation.  Fresh
+keys are never stamped, and stamping never flips ``true`` to
+``false``.
+
+Every supervision event is counted in a shared
+:class:`~repro.service.metrics.ServiceMetrics` instance, surfaced by
+the server's ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict, deque
+
+from ..api.documents import ContainmentRequest
+from .metrics import ServiceMetrics
+from .pool import WorkerPool, shard_key
+
+__all__ = ["SupervisedWorkerPool"]
+
+
+class _BoundedKeySet:
+    """An insertion-bounded set of key digests (oldest dropped first).
+
+    Mirrors the engine's verdict-LRU bound so the parent's "was this
+    key decided before?" memory cannot grow without limit on endless
+    streams.  Eviction only ever *under*-reports a duplicate, which
+    degrades a ``cached`` stamp, never correctness — and the bound is
+    far above the per-worker verdict LRU, so in practice the parent
+    forgets after the workers do.
+    """
+
+    def __init__(self, maxsize: int = 1 << 17):
+        self._maxsize = max(1, int(maxsize))
+        self._entries: OrderedDict[bytes, None] = OrderedDict()
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def add(self, key: bytes) -> None:
+        """Insert a key, evicting the oldest entry past the bound."""
+        if key in self._entries:
+            return
+        self._entries[key] = None
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+
+class SupervisedWorkerPool(WorkerPool):
+    """A :class:`WorkerPool` that respawns, re-drives and steals.
+
+    Drop-in compatible with the base pool (same ``decide_*`` API and
+    byte-identical results); the extra knobs bound the supervision
+    behaviour:
+
+    ``max_respawns``
+        restarts allowed per shard before it is retired for good.
+    ``max_redrives``
+        times one request may be re-driven after killing its worker
+        before it is answered with an in-band error.
+    ``prefetch``
+        requests kept inside each worker process; the rest of the
+        backlog stays parent-side where it can be re-driven or stolen.
+    ``steal_threshold``
+        backlog depth beyond which a shard spills stealable work into
+        the overflow deque.
+    ``overflow_limit``
+        bound on the overflow deque (spilling stops at the bound; the
+        backlog then simply grows on its home shard).
+    ``metrics``
+        a shared :class:`ServiceMetrics`; one is created when omitted.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 snapshot_path: str | os.PathLike | None = None,
+                 include_verdict_snapshot: bool = True,
+                 start_method: str | None = None,
+                 max_respawns: int = 5,
+                 max_redrives: int = 2,
+                 prefetch: int = 4,
+                 steal_threshold: int = 8,
+                 overflow_limit: int = 256,
+                 metrics: ServiceMetrics | None = None):
+        # The collector thread starts inside super().__init__ and may
+        # call our overrides before this constructor finishes — they
+        # fall back to base behaviour until supervision state exists.
+        self._supervising = False
+        super().__init__(workers, snapshot_path=snapshot_path,
+                         include_verdict_snapshot=include_verdict_snapshot,
+                         start_method=start_method)
+        count = len(self._processes)
+        self.metrics = metrics if metrics is not None \
+            else ServiceMetrics(workers=count)
+        self._max_respawns = max(0, int(max_respawns))
+        self._max_redrives = max(0, int(max_redrives))
+        self._prefetch = max(1, int(prefetch))
+        self._steal_threshold = max(1, int(steal_threshold))
+        self._overflow_limit = max(1, int(overflow_limit))
+        # Parent-side dispatch state, all guarded by self._cond.
+        self._home: list[deque] = [deque() for _ in range(count)]
+        self._overflow: deque = deque()   # (seq, request, origin shard)
+        self._outstanding = [0] * count   # requests inside each worker
+        self._restarts = [0] * count      # == dispatch ticket generation
+        self._redrives: dict[int, int] = {}
+        self._key_of: dict[int, bytes] = {}
+        self._live_keys: dict[bytes, int] = {}   # key → in-flight count
+        self._seen_keys = _BoundedKeySet()
+        self._expect_cached: set[int] = set()
+        self._supervising = True
+
+    # -- dispatch ------------------------------------------------------
+
+    def _request_key(self, request: ContainmentRequest) -> bytes:
+        """The duplicate-detection digest of a request's verdict key."""
+        return hashlib.blake2b(
+            shard_key(request, self._parent_engine.registry),
+            digest_size=16).digest()
+
+    def submit(self, request: ContainmentRequest) -> int:
+        """Queue one request through the supervised dispatcher.
+
+        Unlike the base pool, the request is *not* pushed straight into
+        the worker process: it joins the shard's parent-side backlog,
+        from which the pump keeps each worker ``prefetch`` deep.  The
+        parent therefore still holds everything it may need to re-drive
+        or steal.
+        """
+        if not self._supervising:  # pragma: no cover - construction only
+            return super().submit(request)
+        worker = self.shard_of(request)
+        with self._dispatch_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if worker in self._dead:
+                raise RuntimeError(
+                    f"worker {worker} died; its shard cannot accept work")
+            seq = self._next_seq
+            self._next_seq += 1
+            key = self._request_key(request)
+            with self._cond:
+                self._requests[seq] = request
+                self._key_of[seq] = key
+                duplicate = key in self._seen_keys or key in self._live_keys
+                self._live_keys[key] = self._live_keys.get(key, 0) + 1
+                if duplicate:
+                    self._expect_cached.add(seq)
+                self._home[worker].append((seq, request, not duplicate))
+                self._pump_locked()
+            return seq
+
+    def _dispatch_locked(self, index: int, seq: int,
+                         request: ContainmentRequest) -> None:
+        """Hand one request to worker ``index`` (``self._cond`` held)."""
+        ticket = self._restarts[index]
+        self._assigned[seq] = index
+        self._tickets[seq] = ticket
+        self._outstanding[index] += 1
+        self._inboxes[index].put(("req", seq, request, ticket))
+
+    def _pump_locked(self) -> None:
+        """Fill every worker to ``prefetch``; spill and steal as needed.
+
+        Must run with ``self._cond`` held.  Called after every submit
+        and every delivery, so dispatch depth is an invariant, not a
+        schedule.
+        """
+        count = len(self._processes)
+        # Spill the stealable tails of oversized backlogs.
+        for index in range(count):
+            if index in self._dead:
+                continue
+            home = self._home[index]
+            while (len(home) > self._steal_threshold
+                   and len(self._overflow) < self._overflow_limit
+                   and home[-1][2]):
+                seq, request, _ = home.pop()
+                self._overflow.append((seq, request, index))
+        # Top every worker up; idle workers drain the overflow.
+        for index in range(count):
+            if index in self._dead:
+                continue
+            home = self._home[index]
+            while self._outstanding[index] < self._prefetch:
+                if home:
+                    seq, request, _ = home.popleft()
+                elif self._overflow:
+                    seq, request, origin = self._overflow.popleft()
+                    if origin != index:
+                        self.metrics.add("steals")
+                else:
+                    break
+                self._dispatch_locked(index, seq, request)
+        self.metrics.note_depths([len(backlog) for backlog in self._home],
+                                 len(self._overflow))
+
+    # -- delivery ------------------------------------------------------
+
+    def _forget_seq(self, seq: int) -> None:
+        """Drop a seq's duplicate-tracking state (``self._cond`` held)."""
+        self._redrives.pop(seq, None)
+        self._expect_cached.discard(seq)
+        key = self._key_of.pop(seq, None)
+        if key is not None:
+            live = self._live_keys.get(key, 0) - 1
+            if live > 0:
+                self._live_keys[key] = live
+            else:
+                self._live_keys.pop(key, None)
+
+    def _note_result(self, seq: int, worker: int | None,
+                     message: tuple) -> tuple:
+        """Account a delivery; re-stamp duplicate ``cached`` flags."""
+        if not self._supervising:  # pragma: no cover - construction only
+            return message
+        if worker is not None and worker < len(self._outstanding):
+            self._outstanding[worker] -= 1
+        expect_cached = seq in self._expect_cached
+        key = self._key_of.get(seq)
+        self._forget_seq(seq)
+        if message[0] == "ok":
+            if key is not None:
+                self._seen_keys.add(key)
+            document = message[2]
+            if expect_cached and not document.cached:
+                # Chaos (respawn or steal) recomputed a verdict that a
+                # sequential engine would have served from cache; the
+                # document must say so.
+                document = document.with_request(document.request_id, True)
+                message = (message[0], message[1], document, message[3])
+        self._pump_locked()
+        return message
+
+    # -- death policy --------------------------------------------------
+
+    def _retire_worker_locked(self, index: int, process) -> list:
+        """Apply the base retire policy plus backlog cleanup."""
+        for seq in [seq for seq, worker in self._assigned.items()
+                    if worker == index]:
+            self._forget_seq(seq)
+        fired = list(super()._handle_worker_death(index, process))
+        for seq, request, _ in self._home[index]:
+            self._forget_seq(seq)
+            self._requests.pop(seq, None)
+            routed = self._deliver_error_locked(
+                seq,
+                f"worker {index} died and exceeded its respawn budget",
+                request.id)
+            if routed is not None:
+                fired.append(routed)
+        self._home[index].clear()
+        self._outstanding[index] = 0
+        live = [other for other in range(len(self._processes))
+                if other not in self._dead]
+        if not live:
+            # Nobody left to steal the overflow: fail it in-band rather
+            # than strand its waiters.
+            while self._overflow:
+                seq, request, _ = self._overflow.popleft()
+                self._forget_seq(seq)
+                self._requests.pop(seq, None)
+                routed = self._deliver_error_locked(
+                    seq, "all workers died; request abandoned", request.id)
+                if routed is not None:
+                    fired.append(routed)
+        return fired
+
+    def _handle_worker_death(self, index: int, process) -> list:
+        """Respawn the shard and re-drive its work (``self._cond`` held).
+
+        Falls back to the base retire-the-shard policy once the shard
+        exhausts ``max_respawns``.  In-flight seqs whose base pool
+        records survive (they were dispatched) are re-queued at the
+        front of the backlog in sequence order; seqs past their
+        ``max_redrives`` budget are answered in-band instead.
+        """
+        if not self._supervising:  # pragma: no cover - construction only
+            return super()._handle_worker_death(index, process)
+        self._restarts[index] += 1
+        if self._restarts[index] > self._max_respawns:
+            return self._retire_worker_locked(index, process)
+        self.metrics.add("respawns")
+        self.metrics.note_restart(index)
+        fired = []
+        requeue = []
+        pending = sorted(seq for seq, worker in self._assigned.items()
+                         if worker == index)
+        for seq in pending:
+            del self._assigned[seq]
+            request = self._requests.get(seq)
+            if seq in self._abandoned:
+                self._abandoned.discard(seq)
+                self._forget_seq(seq)
+                self._requests.pop(seq, None)
+                self._tickets.pop(seq, None)
+                continue
+            attempts = self._redrives.get(seq, 0) + 1
+            if attempts > self._max_redrives:
+                self.metrics.add("redrive_failures")
+                self._forget_seq(seq)
+                self._requests.pop(seq, None)
+                routed = self._deliver_error_locked(
+                    seq,
+                    f"request crashed worker {index} {attempts} times; "
+                    f"giving up",
+                    request.id if request is not None else None)
+                if routed is not None:
+                    fired.append(routed)
+                continue
+            self._redrives[seq] = attempts
+            self.metrics.add("redriven")
+            # Bump the ticket to the new generation *now*: the dead
+            # worker may have answered just before dying, and that
+            # zombie reply must not beat the re-driven dispatch.
+            self._tickets[seq] = self._restarts[index]
+            # Re-driven work is pinned: it must re-run on its home
+            # shard, in its original order, ahead of newer arrivals.
+            requeue.append((seq, request, False))
+        self._outstanding[index] = 0
+        self._home[index].extendleft(reversed(requeue))
+        self._spawn_process(index, load_verdicts=False)
+        if self._active_broadcast is not None:
+            # A stats/caches broadcast was waiting on the dead worker;
+            # re-send it so the caller is answered by the replacement.
+            self._inboxes[index].put(self._active_broadcast)
+        self._pump_locked()
+        return fired

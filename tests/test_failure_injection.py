@@ -1,20 +1,27 @@
-"""Failure injection: the auditor must catch deliberately broken
-semirings and mis-declared classification flags.
+"""Failure injection: broken semirings and killed worker processes.
 
-These tests defend the library's trust chain: the dispatcher believes
-the declared `SemiringProperties`, so the auditor has to be able to
-falsify wrong declarations.
+Two trust chains are defended here.  The first is the library's: the
+dispatcher believes the declared `SemiringProperties`, so the auditor
+has to be able to falsify wrong declarations.  The second is the
+service's: `SupervisedWorkerPool` promises byte-identical results even
+when workers are SIGKILLed mid-stream, so these tests kill workers and
+diff the survivors' output against a sequential engine.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import time
 
 import pytest
 
+from repro.api import ContainmentEngine, ContainmentRequest
 from repro.semirings import (Semiring, SemiringProperties,
                              audit_declared_axioms, audit_positivity,
                              audit_semiring_laws)
+from repro.service import DecisionError, SupervisedWorkerPool
 
 
 class BrokenDistributivity(Semiring):
@@ -167,3 +174,150 @@ def test_properties_record_rejects_inconsistencies():
         SemiringProperties(add_idempotent=True, offset=2)
     with pytest.raises(ValueError):
         SemiringProperties(mul_idempotent=True, offset=3)
+
+
+# ---------------------------------------------------------------------------
+# Service chaos: SIGKILLed workers must not change a single output byte.
+# ---------------------------------------------------------------------------
+
+CHAOS_SEMIRINGS = ["B", "N", "Lin[X]", "Why[X]", "T+", "N[X]"]
+CHAOS_PAIRS = [
+    ("Q() :- R(u, v), R(u, w)", "Q() :- R(u, v), R(u, v)"),
+    ("Q() :- R(u, v)", "Q() :- R(u, v), R(u, v)"),
+    ("Q() :- R(u, v), S(u)", "Q() :- R(u, v)"),
+    ("Q() :- R(u, u)", "Q() :- R(u, v)"),
+    ("Q() :- E(x, y), E(y, z)", "Q() :- E(u, v), E(v, u)"),
+    ("Q() :- R(x, y), R(y, z), R(x, z)", "Q() :- R(a, b), R(b, c)"),
+]
+
+
+def chaos_workload(*, repeats: int = 2) -> list[dict]:
+    """A mixed workload with duplicates, large enough to straddle a kill."""
+    requests: list[dict] = []
+    for semiring in CHAOS_SEMIRINGS:
+        for q1, q2 in CHAOS_PAIRS:
+            requests.append({"semiring": semiring, "q1": q1, "q2": q2})
+    requests = requests * repeats
+    for index, request in enumerate(requests):
+        request = dict(request)
+        request["id"] = f"c{index}"
+        requests[index] = request
+    return requests
+
+
+def sequential_documents(requests) -> list[dict]:
+    return [doc.to_dict()
+            for doc in ContainmentEngine().decide_many(requests)]
+
+
+def _wait_until(predicate, timeout: float = 20.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+def test_sigkill_mid_stream_keeps_output_byte_identical():
+    requests = chaos_workload(repeats=2)
+    assert len(requests) >= 70
+    expected = sequential_documents(requests)
+    with SupervisedWorkerPool(4) as pool:
+        seqs = [pool.submit(pool.normalize(request))
+                for request in requests]
+        outcomes = [pool.result(seq, timeout=60) for seq in seqs[:10]]
+        victim = next(pid for pid in pool.worker_pids() if pid)
+        os.kill(victim, signal.SIGKILL)
+        outcomes += [pool.result(seq, timeout=60) for seq in seqs[10:]]
+        assert [outcome.to_dict() for outcome in outcomes] == expected
+        assert pool.metrics.get("respawns") >= 1
+        assert sum(pool.metrics.as_dict()["worker_restarts"]) >= 1
+
+
+def test_respawned_worker_warm_starts_from_snapshot(tmp_path):
+    path = tmp_path / "supervised.snap"
+    requests = chaos_workload(repeats=1)
+    with SupervisedWorkerPool(2, snapshot_path=path) as pool:
+        first = pool.decide_many(requests)
+        assert not any(isinstance(doc, DecisionError) for doc in first)
+        pool.save_snapshot()
+        victim = pool.worker_pids()[1]
+        os.kill(victim, signal.SIGKILL)
+        assert _wait_until(lambda: pool.metrics.get("respawns") >= 1), \
+            "collector must respawn an idle-killed worker"
+        assert _wait_until(
+            lambda: pool.worker_pids()[1] not in (None, victim))
+        second = pool.decide_many(requests)
+        stats = pool.stats()
+    # A sequential engine would serve the repeat pass entirely from its
+    # verdict cache; the supervised pool must look exactly the same even
+    # though one worker restarted with a verdict-stripped warm start.
+    assert [doc.to_dict() for doc in second] \
+        == sequential_documents(requests + requests)[len(requests):]
+    assert all(doc.cached for doc in second)
+    # The respawn imported the structural layers: re-decides on the new
+    # process never re-ran a homomorphism search or classification.
+    assert stats[1]["hom_calls"] == 0
+    assert stats[1]["classify_calls"] == 0
+
+
+def test_work_stealing_relieves_a_skewed_shard():
+    with SupervisedWorkerPool(2, prefetch=1, steal_threshold=2) as pool:
+        skewed: list[ContainmentRequest] = []
+        index = 0
+        while len(skewed) < 24:
+            request = ContainmentRequest.make(
+                f"Q() :- R(u, v), T{index}(u)", "Q() :- R(u, v)", "B")
+            if pool.shard_of(request) == 0:
+                skewed.append(request)
+            index += 1
+        expected = sequential_documents(skewed)
+        outcomes = pool.decide_many(skewed)
+        assert [outcome.to_dict() for outcome in outcomes] == expected
+        assert pool.metrics.get("steals") > 0, \
+            "an idle worker must have drained the overflow deque"
+
+
+def test_exhausted_respawn_budget_retires_the_shard():
+    with SupervisedWorkerPool(2, max_respawns=0) as pool:
+        victim_index = 0
+        pool._processes[victim_index].kill()
+        assert _wait_until(lambda: victim_index in pool._dead), \
+            "a shard past max_respawns must be retired, not respawned"
+        assert pool.metrics.get("respawns") == 0
+        dead_request = survivor_request = None
+        for index in range(64):
+            request = ContainmentRequest.make(
+                f"Q() :- R(u, v), U{index}(u)", "Q() :- R(u, v)", "B")
+            if pool.shard_of(request) == victim_index:
+                dead_request = dead_request or request
+            else:
+                survivor_request = survivor_request or request
+        failed = pool.decide_one(dead_request)
+        assert isinstance(failed, DecisionError)
+        assert "died" in failed.error
+        assert pool.decide_one(survivor_request).result is True
+
+
+def test_poisonous_request_fails_in_band_after_redrive_budget():
+    with SupervisedWorkerPool(1, max_redrives=0) as pool:
+        request = pool.normalize({"semiring": "B", "q1": "Q() :- R(u, v)",
+                                  "q2": "Q() :- R(u, u)", "id": "poison"})
+        pid = pool.worker_pids()[0]
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            seq = pool.submit(request)
+            os.kill(pid, signal.SIGKILL)
+            outcome = pool.result(seq, timeout=30)
+        finally:
+            try:  # harmless once the kill landed; frees the worker if not
+                os.kill(pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        assert isinstance(outcome, DecisionError)
+        assert "giving up" in outcome.error
+        assert outcome.id == "poison"
+        assert pool.metrics.get("redrive_failures") == 1
+        # The shard itself respawned and keeps serving fresh submissions.
+        assert pool.decide_one(request).result is False

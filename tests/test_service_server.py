@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import signal
 import socket
 import threading
+import time
 
 from repro.api import ContainmentEngine
 from repro.service import DecisionServer, WorkerPool, load_snapshot
@@ -150,3 +153,84 @@ def test_tcp_server_conversation_and_shutdown():
     thread.join(timeout=10)
     assert not thread.is_alive(), "shutdown op must stop serve_tcp"
     assert server.served == 2
+
+
+def test_stdio_oversized_line_answered_in_band_and_never_parsed():
+    server = DecisionServer(max_line_bytes=128)
+    lines = ["{" + "x" * 4096, json.dumps(REQUESTS[0])]
+    responses = run_stdio(server, lines)
+    assert responses[0]["oversized"] is True
+    assert "128" in responses[0]["error"]
+    assert responses[1]["request_id"] == "r1"
+    assert server.served == 2
+
+
+def test_stdio_unterminated_oversized_line_is_drained():
+    # serve_lines reads with a byte bound, so even a single huge line
+    # with no trailing newline is answered in-band, never buffered whole.
+    server = DecisionServer(max_line_bytes=64)
+    source = io.StringIO("y" * (1 << 20))
+    sink = io.StringIO()
+    server.serve_lines(source, sink)
+    responses = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert len(responses) == 1
+    assert responses[0]["oversized"] is True
+
+
+def test_tcp_oversized_line_then_valid_request_same_connection():
+    server = DecisionServer(max_line_bytes=128)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.serve_tcp, args=("127.0.0.1", 0),
+        kwargs={"ready": ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10)
+    responses = _connect_lines(
+        server.tcp_address,
+        ["z" * 4096, json.dumps(REQUESTS[0]), '{"op": "shutdown"}'])
+    assert responses[0]["oversized"] is True
+    assert responses[1]["request_id"] == "r1"
+    assert responses[2] == {"op": "shutdown", "ok": True}
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def test_close_returns_final_stats_and_flush_counts(tmp_path):
+    path = tmp_path / "final.snap"
+    server = DecisionServer(snapshot_path=path)
+    run_stdio(server, [json.dumps(request) for request in REQUESTS])
+    stats = server.close()
+    assert stats["served"] == len(REQUESTS)
+    assert stats["errors"] == 0
+    assert stats["flushed"]["verdicts"] == len(REQUESTS)
+    assert stats["flush_error"] is None
+    assert server.close() == stats  # idempotent
+
+
+def test_close_surfaces_final_flush_failure(tmp_path):
+    path = tmp_path / "no-such-dir" / "final.snap"
+    server = DecisionServer(snapshot_path=path)
+    run_stdio(server, [json.dumps(REQUESTS[0])])
+    stats = server.close()
+    assert stats["flushed"] is None
+    assert stats["flush_error"] is not None
+    assert "no-such-dir" in stats["flush_error"]
+    # The failure also rides along on a later stats op... but the loop
+    # is closed; assert the close report is stable instead.
+    assert server.close()["flush_error"] == stats["flush_error"]
+
+
+def test_pool_close_escalates_to_kill_for_wedged_workers():
+    pool = WorkerPool(2)
+    processes = list(pool._processes)
+    os.kill(processes[0].pid, signal.SIGSTOP)  # immune to "stop"/SIGTERM
+    started = time.monotonic()
+    pool.close(timeout=0.5)
+    elapsed = time.monotonic() - started
+    assert elapsed < 8.0, "close must escalate instead of hanging"
+    deadline = time.monotonic() + 5.0
+    while (any(p.is_alive() for p in processes)
+           and time.monotonic() < deadline):
+        time.sleep(0.05)
+    assert not any(p.is_alive() for p in processes)
+    assert processes[0].exitcode == -signal.SIGKILL
