@@ -17,6 +17,16 @@ Suppression pragmas are comments::
 A trailing pragma suppresses its own line; a comment-only pragma line
 suppresses itself *and* the next line (so a justification sentence can
 precede the code it excuses).  ``disable=all`` mutes every rule.
+
+Ownership annotations use the same comment channel::
+
+    # Touched only by the collector thread and the delivery helpers.
+    self._results = {}  # repro-lint: owner=_collect,on_result
+
+``# repro-lint: owner=method,method`` on (or immediately above) an
+attribute declaration names the methods allowed to mutate that
+attribute; rule RL103 flags mutations anywhere else.  The declaring
+method itself is always allowed.
 """
 
 from __future__ import annotations
@@ -34,6 +44,10 @@ __all__ = ["Finding", "SourceFile", "Project", "Rule", "RULES",
 
 #: ``# repro-lint: disable=RL001,RL004`` (or ``disable=all``).
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: ``# repro-lint: owner=_collect,on_result`` — mutation allowlist for
+#: the attribute declared on the annotated line (RL103).
+_OWNER = re.compile(r"#\s*repro-lint:\s*owner=([A-Za-z0-9_.,\s]+)")
 
 
 @dataclass(frozen=True)
@@ -82,6 +96,38 @@ def _pragmas(text: str) -> dict[int, frozenset[str]]:
             for line, rules in suppressed.items()}
 
 
+def _owner_annotations(text: str) -> dict[int, tuple[str, ...]]:
+    """``line → allowed mutator methods`` from ``owner=`` comments.
+
+    Line-coverage semantics match :func:`_pragmas`: a trailing comment
+    annotates the declaration on its own line, a comment-only line the
+    declaration on the next line.
+    """
+    owners: dict[int, tuple[str, ...]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _OWNER.search(token.string)
+            if match is None:
+                continue
+            methods = tuple(part.strip()
+                            for part in match.group(1).split(",")
+                            if part.strip())
+            if not methods:
+                continue
+            line = token.start[0]
+            lines = [line]
+            if token.line.lstrip().startswith("#"):
+                lines.append(line + 1)
+            for covered in lines:
+                owners[covered] = methods
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return owners
+
+
 def module_name_for(path: Path) -> str | None:
     """The dotted module name of ``path``, walked up ``__init__.py``s.
 
@@ -110,6 +156,7 @@ class SourceFile:
     module: str | None
     tree: ast.Module
     pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    owners: dict[int, tuple[str, ...]] = field(default_factory=dict)
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         """True when a pragma mutes ``rule_id`` on ``line``."""
@@ -135,7 +182,8 @@ def load_source_file(path: Path, root: Path | None = None,
                        message=f"cannot parse file ({error})")
     return SourceFile(path=path, display=display,
                       module=module_name_for(path), tree=tree,
-                      pragmas=_pragmas(text))
+                      pragmas=_pragmas(text),
+                      owners=_owner_annotations(text))
 
 
 class Project:

@@ -19,11 +19,15 @@ class LintReport:
     ``findings``   — surviving findings, sorted by (path, line, rule).
     ``suppressed`` — how many findings pragmas muted.
     ``files``      — how many files were analyzed.
+    ``timings``    — per-rule ``(rule id, seconds)`` pairs; populated
+                     only when the run was asked for stats, so the
+                     default JSON document stays byte-stable.
     """
 
     findings: tuple[Finding, ...]
     suppressed: int
     files: int
+    timings: tuple[tuple[str, float], ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -36,9 +40,10 @@ class LintReport:
         return 0 if self.clean else 1
 
 
-def render_text(report: LintReport) -> str:
+def render_text(report: LintReport, *, stats: bool = False) -> str:
     """Human-readable report: one ``path:line: RULE message`` per
-    finding plus a one-line summary."""
+    finding plus a one-line summary (and, with ``stats``, a per-rule
+    timing table)."""
     lines = [finding.render() for finding in report.findings]
     noun = "finding" if len(report.findings) == 1 else "findings"
     summary = (f"{len(report.findings)} {noun} in {report.files} "
@@ -46,15 +51,30 @@ def render_text(report: LintReport) -> str:
     if report.suppressed:
         summary += f" ({report.suppressed} suppressed by pragmas)"
     lines.append(summary if report.findings else f"clean: {summary}")
+    if stats and report.timings:
+        lines.append("rule timings:")
+        total = sum(seconds for _, seconds in report.timings)
+        for rule_id, seconds in sorted(report.timings,
+                                       key=lambda t: -t[1]):
+            lines.append(f"  {rule_id}  {seconds * 1000:8.1f} ms")
+        lines.append(f"  total  {total * 1000:8.1f} ms")
     return "\n".join(lines)
 
 
 def render_json(report: LintReport) -> dict:
-    """JSON-clean report document (stable schema, see tests)."""
-    return {
+    """JSON-clean report document (stable schema, see tests).
+
+    ``timings`` is additive and appears only when the run collected
+    stats, so existing consumers of version-1 documents are unaffected.
+    """
+    document = {
         "version": JSON_SCHEMA_VERSION,
         "clean": report.clean,
         "files": report.files,
         "suppressed": report.suppressed,
         "findings": [finding.to_dict() for finding in report.findings],
     }
+    if report.timings:
+        document["timings"] = {rule_id: seconds
+                               for rule_id, seconds in report.timings}
+    return document

@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from .callgraph import import_map as _import_map
 from .model import Finding, Project, Rule, SourceFile, rule
 
 __all__ = ["ContextThreadingRule", "CacheLayerRule", "SemiringRule",
@@ -43,50 +44,8 @@ _CONTEXT_PREFIXES = ("repro.core", "repro.homomorphisms",
                      "repro.polynomials")
 
 
-def _resolve_relative(module: str | None, is_package: bool,
-                      node: ast.ImportFrom) -> str | None:
-    """The absolute module an ``ImportFrom`` refers to."""
-    if node.level == 0:
-        return node.module
-    if module is None:
-        return None
-    parts = module.split(".")
-    if not is_package:
-        parts = parts[:-1]
-    drop = node.level - 1
-    if drop:
-        parts = parts[:-drop] if drop < len(parts) else []
-    if node.module:
-        parts.extend(node.module.split("."))
-    return ".".join(parts) if parts else None
-
-
-def _import_map(sf: SourceFile) -> dict[str, tuple[str, str | None]]:
-    """``local alias → (origin module, symbol)`` for a file.
-
-    ``symbol`` is ``None`` for whole-module imports (``import x.y``,
-    ``from x import y_module`` is indistinguishable from a symbol
-    import and recorded with its name).
-    """
-    is_package = sf.path.name == "__init__.py"
-    mapping: dict[str, tuple[str, str | None]] = {}
-    for node in ast.walk(sf.tree):
-        if isinstance(node, ast.ImportFrom):
-            origin = _resolve_relative(sf.module, is_package, node)
-            if origin is None:
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                mapping[alias.asname or alias.name] = (origin, alias.name)
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname is not None:
-                    mapping[alias.asname] = (alias.name, None)
-                else:
-                    root = alias.name.split(".")[0]
-                    mapping.setdefault(root, (root, None))
-    return mapping
+# Import/alias resolution is shared with the interprocedural layer:
+# ``_import_map`` above is :func:`repro.lint.callgraph.import_map`.
 
 
 def _parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
