@@ -574,7 +574,11 @@ class ContainmentEngine:
         document = VerdictDocument.from_verdict(
             verdict, semiring=resolved.name, q1=union1, q2=union2,
             request_id=request_id)
-        self._verdicts.put(key, document)
+        # Sound despite request_id missing from the key: the hit path
+        # above re-stamps every cached document via with_request(), so
+        # a request id never leaks out of the aliased entry; the
+        # verdict itself depends only on the keyed inputs.
+        self._verdicts.put(key, document)  # repro-lint: disable=RL104
         return document
 
     def evaluate(self, query, instance, semiring: str | Semiring | None = None):
