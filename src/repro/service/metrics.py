@@ -38,11 +38,11 @@ class ServiceMetrics:
 
     def __init__(self, workers: int = 0):
         self._lock = threading.Lock()
-        self._counts = {name: 0 for name in _COUNTERS}
-        self._restarts = [0] * max(0, int(workers))
-        self._queue_depths: list[int] = []
-        self._overflow_depth = 0
-        self._max_backlog = 0
+        self._counts = {name: 0 for name in _COUNTERS}  # repro-lint: owner=add
+        self._restarts = [0] * max(0, int(workers))  # repro-lint: owner=note_restart
+        self._queue_depths: list[int] = []  # repro-lint: owner=note_depths
+        self._overflow_depth = 0  # repro-lint: owner=note_depths
+        self._max_backlog = 0  # repro-lint: owner=note_depths
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment one of the named monotonic counters."""
