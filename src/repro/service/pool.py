@@ -220,9 +220,11 @@ class WorkerPool:
         # plus the registry for canonical shard keys.  It never decides.
         self._parent_engine = ContainmentEngine()
         self._outbox = self._context.Queue()
+        # repro-lint: owner=_spawn_process,submit,_broadcast,_dispatch_locked,_handle_worker_death
         self._inboxes: list = []
         self._processes: list = []
         self._cond = threading.Condition()
+        # repro-lint: owner=_collect,_deliver_error_locked,result,on_result,abandon
         self._results: dict[int, tuple] = {}
         self._replies: dict[str, dict[int, Any]] = {"caches": {},
                                                     "stats": {}}

@@ -137,10 +137,12 @@ class SupervisedWorkerPool(WorkerPool):
         self._steal_threshold = max(1, int(steal_threshold))
         self._overflow_limit = max(1, int(overflow_limit))
         # Parent-side dispatch state, all guarded by self._cond.
+        # repro-lint: owner=submit,_pump_locked,_retire_worker_locked,_handle_worker_death
         self._home: list[deque] = [deque() for _ in range(count)]
+        # repro-lint: owner=submit,_pump_locked,_retire_worker_locked,_handle_worker_death
         self._overflow: deque = deque()   # (seq, request, origin shard)
         self._outstanding = [0] * count   # requests inside each worker
-        self._restarts = [0] * count      # == dispatch ticket generation
+        self._restarts = [0] * count  # repro-lint: owner=_handle_worker_death
         self._redrives: dict[int, int] = {}
         self._key_of: dict[int, bytes] = {}
         self._live_keys: dict[bytes, int] = {}   # key → in-flight count
