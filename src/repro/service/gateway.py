@@ -170,7 +170,7 @@ class AsyncGateway:
             pool_metrics = getattr(pool, "metrics", None)
             self.metrics = (pool_metrics if pool_metrics is not None
                             else ServiceMetrics())
-        self._inflight = 0
+        self._inflight = 0  # repro-lint: owner=_admit,_decide
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping: asyncio.Event | None = None
         self._readers: set = set()
